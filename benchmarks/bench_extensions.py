@@ -1,0 +1,195 @@
+"""E11 — The paper's future-work extensions, measured.
+
+Covers the four §6/§3.1 extensions this reproduction implements beyond the
+base system:
+
+- **multiparty negotiation**: third-party release dependencies deadlock
+  every two-party strategy but converge under the n-peer eager driver;
+- **autonomy analysis**: criticality of each credential and obligatory-
+  answer analysis via ablation;
+- **behavioural leakage**: counter-querying release guards are observably
+  different from flat denials;
+- **sticky policies**: the forwarding-enforcement overhead relative to
+  default (context-stripping) mode.
+"""
+
+from conftest import KEY_BITS
+
+from repro.bench.reporting import print_table
+from repro.datalog.parser import parse_literal
+from repro.negotiation.analysis import (
+    behaviour_leak_probe,
+    critical_credentials,
+    refusal_analysis,
+)
+from repro.negotiation.strategies import (
+    eager_multiparty_negotiate,
+    eager_negotiate,
+    parsimonious_negotiate,
+)
+from repro.workloads.generator import (
+    build_delegation_chain,
+    build_third_party_endorsement,
+)
+from repro.workloads.metrics import measure_negotiation
+from repro.world import World
+
+
+def test_e11_multiparty(benchmark):
+    rows = []
+    for label, runner in [
+        ("parsimonious (2-party)",
+         lambda w: parsimonious_negotiate(w.requester, "Server", w.goal)),
+        ("eager (2-party)",
+         lambda w: eager_negotiate(w.requester, "Server", w.goal)),
+        ("eager multiparty (+Endorser)",
+         lambda w: eager_multiparty_negotiate(
+             w.requester, "Server", w.goal, participants=["Endorser"])),
+        ("parsimonious (provider hint)", None),
+    ]:
+        if runner is None:
+            workload = build_third_party_endorsement(
+                provider_hint=True, key_bits=KEY_BITS)
+            result, report = measure_negotiation(
+                workload, "parsimonious",
+                runner=lambda: parsimonious_negotiate(
+                    workload.requester, "Server", workload.goal))
+        else:
+            workload = build_third_party_endorsement(key_bits=KEY_BITS)
+            bound_workload, bound_runner = workload, runner
+            result, report = measure_negotiation(
+                workload, label,
+                runner=lambda: bound_runner(bound_workload))
+        rows.append({
+            "strategy": label,
+            "granted": result.granted,
+            "messages": report.messages,
+            "disclosures": report.disclosures,
+        })
+    print_table(rows, title="E11a - third-party release dependency")
+    outcomes = {row["strategy"]: row["granted"] for row in rows}
+    assert not outcomes["parsimonious (2-party)"]
+    assert not outcomes["eager (2-party)"]
+    assert outcomes["eager multiparty (+Endorser)"]
+    assert outcomes["parsimonious (provider hint)"]
+
+    def multiparty_once():
+        workload = build_third_party_endorsement(key_bits=KEY_BITS)
+        result = eager_multiparty_negotiate(
+            workload.requester, "Server", workload.goal,
+            participants=["Endorser"])
+        assert result.granted
+
+    benchmark(multiparty_once)
+
+
+def test_e11_autonomy_analysis(benchmark):
+    reports = critical_credentials(
+        lambda: build_delegation_chain(4, key_bits=KEY_BITS))
+    impacts = refusal_analysis(
+        lambda: build_delegation_chain(4, key_bits=KEY_BITS))
+    print_table(
+        [{"credential": r.head, "issuer": r.issuer, "critical": r.critical}
+         for r in reports],
+        title="E11b - credential criticality (delegation chain, length 4)")
+    print_table(
+        [{"peer": i.peer, "refused predicate": i.predicate,
+          "breaks negotiation": i.breaks_negotiation} for i in impacts],
+        title="E11b - refusal analysis")
+    assert all(r.critical for r in reports)
+
+    benchmark(lambda: critical_credentials(
+        lambda: build_delegation_chain(2, key_bits=KEY_BITS)))
+
+
+def test_e11_behaviour_leakage(benchmark):
+    def cannot():
+        workload = build_delegation_chain(2, key_bits=KEY_BITS)
+        for credential in list(workload.requester.credentials.credentials()):
+            workload.requester.credentials.remove(credential.serial)
+        return workload
+
+    def willnot_flat():
+        from repro.datalog.parser import parse_rule
+
+        workload = build_delegation_chain(2, key_bits=KEY_BITS)
+        workload.requester.kb.remove(
+            parse_rule('member(X) @ Y $ true <-{true} member(X) @ Y.'))
+        return workload
+
+    def willnot_noisy():
+        from repro.datalog.parser import parse_rule
+
+        workload = build_delegation_chain(2, key_bits=KEY_BITS)
+        workload.requester.kb.remove(
+            parse_rule('member(X) @ Y $ true <-{true} member(X) @ Y.'))
+        workload.requester.kb.load(
+            'member(X) @ Y $ vip(Requester) @ "NoSuchCA" @ Requester '
+            '<-{true} member(X) @ Y.')
+        return workload
+
+    flat = behaviour_leak_probe(cannot, willnot_flat, observer="Server")
+    noisy = behaviour_leak_probe(cannot, willnot_noisy, observer="Server")
+    print_table([
+        {"comparison": "cannot-derive vs flat denial",
+         "leaks": flat.leaks, "channels": ", ".join(flat.leaking_channels) or "-"},
+        {"comparison": "cannot-derive vs counter-querying denial",
+         "leaks": noisy.leaks, "channels": ", ".join(noisy.leaking_channels)},
+    ], title="E11c - behavioural information leakage (server's view)")
+    assert not flat.leaks and noisy.leaks
+
+    benchmark(lambda: behaviour_leak_probe(cannot, willnot_flat,
+                                           observer="Server"))
+
+
+def _sticky_world(sticky: bool) -> World:
+    world = World(key_bits=KEY_BITS)
+    world.add_peer("Origin",
+                   'secret(X) @ Y $ clearance(Requester) <-{true} secret(X) @ Y.\n'
+                   'clearance("Middle").',
+                   sticky_policies=sticky)
+    world.add_peer("Middle",
+                   'secret(X) @ Y $ true <-{true} secret(X) @ Y.\n'
+                   'clearance("Endpoint").',
+                   sticky_policies=sticky)
+    world.add_peer("Endpoint")
+    world.issuer("CA")
+    world.distribute_keys()
+    world.give_credentials("Origin", 'secret("data") signedBy ["CA"].')
+    return world
+
+
+def test_e11_sticky_overhead(benchmark):
+    rows = []
+    for sticky in (False, True):
+        world = _sticky_world(sticky)
+        middle = world.peers["Middle"]
+        first = parsimonious_negotiate(
+            middle, "Origin", parse_literal('secret("data") @ "CA"'))
+        assert first.granted
+        middle.adopt_session_credentials(first.session)
+        world.reset_metrics()
+        endpoint = world.peers["Endpoint"]
+        second = parsimonious_negotiate(
+            endpoint, "Middle", parse_literal('secret("data") @ "CA"'))
+        rows.append({
+            "mode": "sticky" if sticky else "default",
+            "forwarded to cleared peer": second.granted,
+            "messages": world.stats.messages,
+            "release checks": second.session.counters.get("release_checks", 0),
+        })
+    print_table(rows, title="E11d - sticky-policy forwarding overhead")
+    assert all(row["forwarded to cleared peer"] for row in rows)
+
+    def sticky_forward():
+        world = _sticky_world(True)
+        middle = world.peers["Middle"]
+        first = parsimonious_negotiate(
+            middle, "Origin", parse_literal('secret("data") @ "CA"'))
+        middle.adopt_session_credentials(first.session)
+        endpoint = world.peers["Endpoint"]
+        result = parsimonious_negotiate(
+            endpoint, "Middle", parse_literal('secret("data") @ "CA"'))
+        assert result.granted
+
+    benchmark(sticky_forward)

@@ -1,0 +1,70 @@
+"""E10 — Termination guarantees (§6 future work, implemented here).
+
+Negotiations with no safe disclosure sequence must fail in bounded time:
+
+- cyclic release dependencies (each side waits for the other) are cut by
+  the session's in-flight loop detection;
+- divergent recursion through growing terms is cut by the engine's depth
+  bound;
+- the distributed forward-chaining saturation independently confirms the
+  goals are underivable, so failure is the *correct* outcome, not a missed
+  derivation.
+"""
+
+import time
+
+from conftest import KEY_BITS
+
+from repro.bench.reporting import print_table
+from repro.datalog.parser import parse_literal
+from repro.negotiation.forward import distributed_fixpoint
+from repro.workloads.generator import build_cyclic_release, build_divergent_world
+from repro.workloads.metrics import measure_negotiation
+
+
+def test_e10_termination(benchmark):
+    rows = []
+    for build, strategy in [
+        (build_cyclic_release, "parsimonious"),
+        (build_cyclic_release, "eager"),
+        (build_divergent_world, "parsimonious"),
+    ]:
+        workload = build(key_bits=KEY_BITS)
+        started = time.perf_counter()
+        result, report = measure_negotiation(workload, strategy)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        assert not result.granted
+        saturation = distributed_fixpoint(workload.world) \
+            if build is build_cyclic_release else None
+        rows.append({
+            "workload": workload.description,
+            "strategy": strategy,
+            "granted": result.granted,
+            "messages": report.messages,
+            "loops detected": report.loops_detected,
+            "wall_ms": round(elapsed_ms, 2),
+            "saturation agrees": (
+                "yes" if saturation is not None and not saturation.derivable(
+                    "Server", parse_literal('resource("Client")'))
+                else "n/a"),
+        })
+    print_table(rows, title="E10 - bounded failure on unsatisfiable negotiations")
+
+    # Every run terminated well inside a second.
+    assert all(row["wall_ms"] < 1000 for row in rows)
+
+    def cyclic_failure():
+        workload = build_cyclic_release(key_bits=KEY_BITS)
+        result, _ = measure_negotiation(workload)
+        assert not result.granted
+
+    benchmark(cyclic_failure)
+
+
+def test_e10_depth_bound(benchmark):
+    def divergent_failure():
+        workload = build_divergent_world(key_bits=KEY_BITS)
+        result, _ = measure_negotiation(workload)
+        assert not result.granted
+
+    benchmark(divergent_failure)

@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Benchmarks use 512-bit keys through the process-wide key cache so timings
+measure negotiation machinery, not RSA key generation.  Each experiment
+prints the table/series it reproduces (run with ``-s`` to see them inline;
+EXPERIMENTS.md quotes representative output).
+"""
+
+KEY_BITS = 512

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""A tour of the §6 future-work extensions this reproduction implements.
+
+1. Content-triggered policies — intensional resource protection ("all color
+   printers on the third floor").
+2. Multiparty negotiation — third-party release dependencies that deadlock
+   every two-party strategy.
+3. Autonomy analysis — which credentials/answers are load-bearing.
+4. Behavioural leakage — what a counterpart learns from failure shapes.
+
+Run it:
+
+    python examples/extensions_tour.py
+"""
+
+from repro.datalog.parser import parse_literal
+from repro.negotiation.analysis import (
+    behaviour_leak_probe,
+    critical_credentials,
+)
+from repro.negotiation.strategies import (
+    eager_multiparty_negotiate,
+    negotiate,
+    parsimonious_negotiate,
+)
+from repro.policy.content import ContentPolicy, ContentPolicyRegistry
+from repro.workloads.generator import (
+    build_delegation_chain,
+    build_third_party_endorsement,
+)
+from repro.world import World
+
+
+def banner(title):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def content_triggered_demo():
+    banner("1. Content-triggered policies (intensional resource sets)")
+    world = World(key_bits=512)
+    server = world.add_peer("PrintServer", """
+        printer(p1). location(p1, floor3). colorCapable(p1).
+        printer(p2). location(p2, floor3).
+    """)
+    carol = world.add_peer(
+        "Carol", 'staffBadge(X) @ Y $ true <-{true} staffBadge(X) @ Y.')
+    world.issuer("HR")
+    world.distribute_keys()
+    world.give_credentials("Carol", 'staffBadge("Carol") signedBy ["HR"].')
+
+    registry = ContentPolicyRegistry()
+    registry.add(ContentPolicy.parse(
+        name="color-floor3", action="print", resource_var="R",
+        selector="printer(R), location(R, floor3), colorCapable(R)",
+        requirements='staffBadge(Requester) @ "HR" @ Requester'))
+    registry.install(server)
+
+    for printer in ("p1", "p2"):
+        result = negotiate(carol, "PrintServer",
+                           parse_literal(f'access(print, {printer}, "Carol")'))
+        print(f"  print on {printer}: granted={result.granted}")
+
+    server.kb.load("printer(p9). location(p9, floor3). colorCapable(p9).")
+    result = negotiate(carol, "PrintServer",
+                       parse_literal('access(print, p9, "Carol")'))
+    print(f"  print on p9 (added later, no policy edit): granted={result.granted}")
+
+
+def multiparty_demo():
+    banner("2. Multiparty negotiation (third-party release dependency)")
+    for label, run in [
+        ("parsimonious 2-party", lambda w: parsimonious_negotiate(
+            w.requester, "Server", w.goal)),
+        ("eager multiparty   ", lambda w: eager_multiparty_negotiate(
+            w.requester, "Server", w.goal, participants=["Endorser"])),
+    ]:
+        workload = build_third_party_endorsement(key_bits=512)
+        result = run(workload)
+        print(f"  {label}: granted={result.granted}")
+
+
+def analysis_demo():
+    banner("3. Autonomy analysis (which credentials are load-bearing?)")
+    reports = critical_credentials(
+        lambda: build_delegation_chain(3, key_bits=512))
+    for report in reports:
+        print(f"  {report.head:35s} critical={report.critical}")
+
+
+def leakage_demo():
+    banner("4. Behavioural information leakage (failure-shape analysis)")
+
+    def cannot():
+        workload = build_delegation_chain(2, key_bits=512)
+        for credential in list(workload.requester.credentials.credentials()):
+            workload.requester.credentials.remove(credential.serial)
+        return workload
+
+    def willnot_noisy():
+        from repro.datalog.parser import parse_rule
+
+        workload = build_delegation_chain(2, key_bits=512)
+        workload.requester.kb.remove(
+            parse_rule('member(X) @ Y $ true <-{true} member(X) @ Y.'))
+        workload.requester.kb.load(
+            'member(X) @ Y $ vip(Requester) @ "NoSuchCA" @ Requester '
+            '<-{true} member(X) @ Y.')
+        return workload
+
+    report = behaviour_leak_probe(cannot, willnot_noisy, observer="Server")
+    print(f"  server can distinguish the failures: {report.leaks}")
+    print(f"  leak channels: {', '.join(report.leaking_channels)}")
+    print(f"  observable sequences:")
+    print(f"    cannot-derive:  {' '.join(report.cannot_events)}")
+    print(f"    will-not-release: {' '.join(report.willnot_events)}")
+
+
+if __name__ == "__main__":
+    content_triggered_demo()
+    multiparty_demo()
+    analysis_demo()
+    leakage_demo()

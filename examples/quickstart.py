@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: a minimal bilateral trust negotiation.
+
+A server offers a resource to anyone who can prove, with a CA-signed
+credential, that they are a friend; the client guards that credential with
+a release policy of its own.  Run it:
+
+    python examples/quickstart.py
+"""
+
+from repro import World, negotiate, parse_literal
+
+
+def main() -> None:
+    world = World(key_bits=512)
+
+    # The server's PeerTrust program: the `$` rule is the access policy for
+    # the resource; `@ "CA" @ Requester` means "ask the requester to supply
+    # a CA-certified proof".
+    world.add_peer("Server", """
+        hello(Requester) $ true <-
+            friend(Requester) @ "CA" @ Requester.
+    """)
+
+    # The client's program: its friend credential may be shown to anyone
+    # ($ true); `<-{true}` makes the release policy itself public.
+    client = world.add_peer("Client", """
+        friend(X) @ Y $ true <-{true} friend(X) @ Y.
+    """)
+
+    # An issuer that signs credentials but answers no queries.
+    world.issuer("CA")
+    world.distribute_keys()
+
+    # Hand the client its CA-signed credential.
+    world.give_credentials("Client", 'friend("Client") signedBy ["CA"].')
+
+    result = negotiate(client, "Server", parse_literal('hello("Client")'))
+
+    print(f"granted: {result.granted}")
+    print(f"messages exchanged: {world.stats.messages}"
+          f" ({world.stats.bytes} bytes,"
+          f" {world.stats.simulated_ms:.1f} simulated ms)")
+    print("\nnegotiation transcript:")
+    print(result.session.render_transcript())
+
+    assert result.granted
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario 2 (paper §4.2): Bob signs up for learning services.
+
+Runs every variant the paper discusses:
+
+- free-course enrollment for employees of ELENA member companies;
+- pay-per-use purchase with the company VISA card, including the policy27
+  dance (card shown only to ELENA members who are VISA-authorised
+  merchants) and the live revocation check with the VISA peer;
+- the counterfactual where IBM is not an ELENA member;
+- the authority-broker variant of policy49;
+- a revoked card.
+
+Run it:
+
+    python examples/scenario2_learning_services.py
+"""
+
+from repro.scenarios.services import (
+    build_scenario2,
+    revoke_ibm_card,
+    run_free_enrollment,
+    run_paid_enrollment,
+)
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    banner("Free course for an IBM (ELENA member) employee")
+    scenario = build_scenario2(key_bits=512)
+    result = run_free_enrollment(scenario)
+    print(f"granted: {result.granted} "
+          f"(company={result.binding('Company')}, email={result.binding('Email')})")
+    print(result.session.render_transcript())
+
+    banner("Pay-per-use course: authorisation + VISA card + approval")
+    scenario = build_scenario2(key_bits=512)
+    result = run_paid_enrollment(scenario)
+    print(f"granted: {result.granted} at price {result.binding('Price')}")
+    print(result.session.render_transcript())
+
+    banner("Policy protection: freebieEligible never crossed the wire")
+    leaked = [e for e in result.session.transcript
+              if "freebieEligible" in e.detail
+              and e.kind in ("disclose", "receive", "answer")]
+    print(f"events leaking the private rule: {len(leaked)} (expected 0)")
+
+    banner("Counterfactual: IBM not in ELENA")
+    scenario = build_scenario2(key_bits=512, ibm_in_elena=False)
+    free = run_free_enrollment(scenario)
+    paid = run_paid_enrollment(scenario)
+    print(f"free course granted: {free.granted}  (paper: must fail)")
+    print(f"paid course granted: {paid.granted}  (paper: must succeed)")
+
+    banner("Revoked company card")
+    scenario = build_scenario2(key_bits=512)
+    revoke_ibm_card(scenario)
+    paid = run_paid_enrollment(scenario)
+    free = run_free_enrollment(scenario)
+    print(f"paid course granted: {paid.granted}  (revocation must block it)")
+    print(f"free course granted: {free.granted}  (unaffected)")
+
+    banner("Brokered authority lookup (authority(purchaseApproved, A) @ myBroker)")
+    scenario = build_scenario2(key_bits=512, use_broker=True)
+    result = run_paid_enrollment(scenario)
+    broker_queries = [e for e in result.session.events("query")
+                      if e.counterpart == "myBroker"]
+    print(f"granted: {result.granted}, broker consulted "
+          f"{len(broker_queries)} time(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Eager vs parsimonious negotiation strategies (paper §5, after Yu et al.).
+
+Sweeps alternating release-dependency chains and prints the classic
+trade-off: the parsimonious strategy sends more messages but discloses the
+minimum; the eager strategy converges in few rounds by pushing everything
+its release policies allow.  On deadlocked (cyclic) policies both must
+terminate with failure — no safe disclosure sequence exists.
+
+Run it:
+
+    python examples/strategy_comparison.py
+"""
+
+from repro.bench.reporting import print_table
+from repro.workloads.generator import (
+    build_alternating_chain,
+    build_cyclic_release,
+    build_random_bilateral,
+)
+from repro.workloads.metrics import measure_negotiation
+
+
+def main() -> None:
+    rows = []
+    for rounds in (1, 2, 4, 6, 8):
+        for strategy in ("parsimonious", "eager"):
+            workload = build_alternating_chain(rounds, key_bits=512)
+            result, report = measure_negotiation(workload, strategy)
+            rows.append({
+                "chain depth": rounds,
+                "strategy": strategy,
+                "granted": result.granted,
+                "messages": report.messages,
+                "bytes": report.bytes,
+                "disclosures": report.disclosures,
+                "queries": report.queries,
+            })
+    print_table(rows, title="Alternating release chains: eager vs parsimonious")
+
+    rows = []
+    for strategy in ("parsimonious", "eager"):
+        workload = build_cyclic_release(key_bits=512)
+        result, report = measure_negotiation(workload, strategy)
+        rows.append({
+            "strategy": strategy,
+            "granted": result.granted,
+            "messages": report.messages,
+            "loops detected": report.loops_detected,
+        })
+    print_table(rows, title="Deadlocked (cyclic) policies: both must fail, terminating")
+
+    rows = []
+    agreements = 0
+    trials = 10
+    for seed in range(trials):
+        outcome = {}
+        for strategy in ("parsimonious", "eager"):
+            workload = build_random_bilateral(seed, key_bits=512)
+            result, report = measure_negotiation(workload, strategy)
+            outcome[strategy] = result.granted
+        agreements += outcome["parsimonious"] == outcome["eager"]
+    print(f"\nstrategy interoperability on {trials} random workloads: "
+          f"{agreements}/{trials} agree on the outcome")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Benchmark support: table rendering for experiment output."""
+
+from repro.bench.reporting import print_table, format_table
+
+__all__ = ["print_table", "format_table"]

@@ -1,0 +1,52 @@
+"""Plain-text tables for benchmark output.
+
+Every experiment prints the rows/series it reproduces in the same aligned
+format, so EXPERIMENTS.md can quote benchmark output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+
+def format_table(rows: Iterable[Mapping], title: Optional[str] = None) -> str:
+    """Render dict rows as an aligned text table (column order from the
+    first row; missing cells render empty)."""
+    row_list = [dict(row) for row in rows]
+    if not row_list:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns: list[str] = []
+    for row in row_list:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return "" if value is None else str(value)
+
+    widths = {c: len(c) for c in columns}
+    rendered_rows = []
+    for row in row_list:
+        rendered = {c: cell(row.get(c)) for c in columns}
+        rendered_rows.append(rendered)
+        for c in columns:
+            widths[c] = max(widths[c], len(rendered[c]))
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(rendered[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def print_table(rows: Iterable[Mapping], title: Optional[str] = None) -> None:
+    print()
+    print(format_table(rows, title))

@@ -1,0 +1,266 @@
+"""Command-line interface.
+
+Usage (installed as ``peertrust`` via the packaging entry point, or
+``python -m repro``)::
+
+    peertrust parse policies.pt            # check & pretty-print a program
+    peertrust lint policies.pt             # static policy analysis
+    peertrust demo scenario1               # run a paper scenario
+    peertrust save-demo scenario2 out.json # snapshot a scenario world
+    peertrust query out.json --peer E-Learn --goal 'freeCourse(C)'
+    peertrust negotiate out.json --requester Bob --provider E-Learn \\
+        --goal 'enroll(cs101, "Bob", Company, Email, 0)'
+
+Every subcommand returns a conventional exit status (0 success, 1 failure,
+2 usage error), so the CLI scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import PeerTrustError
+
+DEMOS = ("quickstart", "scenario1", "scenario2", "grid")
+
+
+def _build_demo_world(name: str):
+    """Returns (world, suggested-negotiation description) for a demo."""
+    if name == "quickstart":
+        from repro.world import World
+
+        world = World(key_bits=512)
+        world.add_peer("Server",
+                       'hello(Requester) $ true <- '
+                       'friend(Requester) @ "CA" @ Requester.')
+        world.add_peer("Client",
+                       'friend(X) @ Y $ true <-{true} friend(X) @ Y.')
+        world.issuer("CA")
+        world.distribute_keys()
+        world.give_credentials("Client", 'friend("Client") signedBy ["CA"].')
+        return world, ("Client", "Server", 'hello("Client")')
+    if name == "scenario1":
+        from repro.scenarios.elearn import build_scenario1
+
+        scenario = build_scenario1(key_bits=512)
+        return scenario.world, ("Alice", "E-Learn",
+                                'discountEnroll(Course, "Alice")')
+    if name == "scenario2":
+        from repro.scenarios.services import build_scenario2
+
+        scenario = build_scenario2(key_bits=512)
+        return scenario.world, ("Bob", "E-Learn",
+                                'enroll(cs101, "Bob", Company, Email, 0)')
+    if name == "grid":
+        from repro.scenarios.grid import build_grid_scenario
+
+        scenario = build_grid_scenario(chain_length=2, key_bits=512)
+        return scenario.world, ("Bob", "Cluster", 'clusterAccess("Bob")')
+    raise PeerTrustError(f"unknown demo {name!r}")
+
+
+def _run_negotiation(world, requester_name: str, provider_name: str,
+                     goal_text: str, strategy: str, out) -> int:
+    from repro.datalog.parser import parse_literal
+    from repro.negotiation.strategies import negotiate
+
+    requester = world.peers.get(requester_name)
+    if requester is None:
+        print(f"error: no peer named {requester_name!r} "
+              f"(have: {', '.join(sorted(world.peers))})", file=sys.stderr)
+        return 2
+    goal = parse_literal(goal_text)
+    result = negotiate(requester, provider_name, goal, strategy=strategy)
+    print(f"goal:     {goal}", file=out)
+    print(f"granted:  {result.granted}", file=out)
+    if result.first_bindings:
+        for name, term in sorted(result.first_bindings.items()):
+            print(f"  {name} = {term}", file=out)
+    if not result.granted and result.failure_reason:
+        print(f"reason:   {result.failure_reason}", file=out)
+    stats = world.stats
+    print(f"traffic:  {stats.messages} messages, {stats.bytes} bytes, "
+          f"{stats.simulated_ms:.1f} simulated ms", file=out)
+    print("\ntranscript:", file=out)
+    print(result.session.render_transcript(), file=out)
+    return 0 if result.granted else 1
+
+
+# -- subcommands -------------------------------------------------------------------
+
+
+def cmd_parse(args, out) -> int:
+    from repro.datalog.parser import parse_program
+    from repro.datalog.pretty import format_program
+
+    try:
+        source = Path(args.file).read_text()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        program = parse_program(source)
+    except PeerTrustError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 1
+    release = sum(1 for rule in program if rule.is_release_policy)
+    signed = sum(1 for rule in program if rule.is_signed)
+    print(f"% {len(program)} rule(s): {len(program) - release} content, "
+          f"{release} release polic{'y' if release == 1 else 'ies'}, "
+          f"{signed} signed", file=out)
+    print(format_program(program), file=out)
+    return 0
+
+
+def cmd_lint(args, out) -> int:
+    from repro.datalog.parser import parse_program
+    from repro.policy.lint import lint_program, worst_severity
+
+    try:
+        source = Path(args.file).read_text()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        program = parse_program(source)
+    except PeerTrustError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 1
+    findings = lint_program(program)
+    if args.quiet:
+        findings = [f for f in findings if f.severity != "info"]
+    for finding in findings:
+        print(str(finding), file=out)
+    worst = worst_severity(findings)
+    if not findings:
+        print("clean: no findings", file=out)
+    return 1 if worst == "error" else 0
+
+
+def cmd_demo(args, out) -> int:
+    world, (requester, provider, goal) = _build_demo_world(args.name)
+    return _run_negotiation(world, requester, provider, goal,
+                            args.strategy, out)
+
+
+def cmd_save_demo(args, out) -> int:
+    from repro.serialize import save_world
+
+    world, _ = _build_demo_world(args.name)
+    save_world(world, args.output)
+    print(f"saved demo {args.name!r} world "
+          f"({len(world.peers)} peers) to {args.output}", file=out)
+    return 0
+
+
+def cmd_negotiate(args, out) -> int:
+    from repro.serialize import load_world
+
+    world = load_world(args.world)
+    return _run_negotiation(world, args.requester, args.provider,
+                            args.goal, args.strategy, out)
+
+
+def cmd_query(args, out) -> int:
+    from repro.datalog.parser import parse_literal
+    from repro.serialize import load_world
+
+    world = load_world(args.world)
+    peer = world.peers.get(args.peer)
+    if peer is None:
+        print(f"error: no peer named {args.peer!r}", file=sys.stderr)
+        return 2
+    goal = parse_literal(args.goal)
+    solutions = peer.local_query(goal, allow_remote=not args.local_only)
+    if not solutions:
+        print("no.", file=out)
+        return 1
+    for solution in solutions:
+        print(str(goal.apply(solution.subst)), file=out)
+        if args.explain:
+            from repro.datalog.explain import explain
+
+            print(explain(solution.proofs[0], indent=2), file=out)
+    return 0
+
+
+def cmd_version(args, out) -> int:
+    import repro
+
+    print(f"peertrust (repro) {repro.__version__}", file=out)
+    return 0
+
+
+# -- parser --------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="peertrust",
+        description="PeerTrust trust-negotiation toolkit (paper reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p = subparsers.add_parser("parse", help="check and pretty-print a program")
+    p.add_argument("file", help="PeerTrust source file")
+    p.set_defaults(handler=cmd_parse)
+
+    p = subparsers.add_parser("lint", help="static checks on a program")
+    p.add_argument("file", help="PeerTrust source file")
+    p.add_argument("--quiet", action="store_true", help="hide info findings")
+    p.set_defaults(handler=cmd_lint)
+
+    p = subparsers.add_parser("demo", help="run one of the paper scenarios")
+    p.add_argument("name", choices=DEMOS)
+    p.add_argument("--strategy", default="parsimonious",
+                   choices=("parsimonious", "eager"))
+    p.set_defaults(handler=cmd_demo)
+
+    p = subparsers.add_parser("save-demo", help="snapshot a demo world to JSON")
+    p.add_argument("name", choices=DEMOS)
+    p.add_argument("output", help="output JSON path")
+    p.set_defaults(handler=cmd_save_demo)
+
+    p = subparsers.add_parser("negotiate", help="negotiate in a saved world")
+    p.add_argument("world", help="world JSON (see save-demo)")
+    p.add_argument("--requester", required=True)
+    p.add_argument("--provider", required=True)
+    p.add_argument("--goal", required=True)
+    p.add_argument("--strategy", default="parsimonious",
+                   choices=("parsimonious", "eager"))
+    p.set_defaults(handler=cmd_negotiate)
+
+    p = subparsers.add_parser("query", help="evaluate a goal as one peer")
+    p.add_argument("world", help="world JSON (see save-demo)")
+    p.add_argument("--peer", required=True)
+    p.add_argument("--goal", required=True)
+    p.add_argument("--local-only", action="store_true",
+                   help="forbid remote sub-queries")
+    p.add_argument("--explain", action="store_true",
+                   help="print the proof tree of each answer")
+    p.set_defaults(handler=cmd_query)
+
+    p = subparsers.add_parser("version", help="print the library version")
+    p.set_defaults(handler=cmd_version)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except PeerTrustError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

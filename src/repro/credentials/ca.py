@@ -1,0 +1,118 @@
+"""Certificate authorities and chain verification.
+
+A :class:`CertificateAuthority` issues identity certificates (and can issue
+intermediate-CA certificates, forming hierarchies).  :func:`verify_chain`
+validates a leaf certificate against a set of trust anchors by walking
+issuer links, checking signatures, validity windows, and revocation at
+every step — the standard X.509 path-validation shape, reduced to what the
+negotiation runtime needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.credentials.certificate import Certificate, make_certificate
+from repro.credentials.revocation import RevocationList
+from repro.crypto.keys import KeyPair, KeyRing, PublicKey
+from repro.errors import CertificateError
+
+
+class CertificateAuthority:
+    """An issuing authority with its own key pair and CRL."""
+
+    def __init__(self, name: str, key_bits: int = 1024,
+                 keys: Optional[KeyPair] = None) -> None:
+        self.name = name
+        self.keys = keys if keys is not None else KeyPair.generate(name, key_bits)
+        self.crl = RevocationList(name, self.keys)
+        self._issued: dict[str, Certificate] = {}
+
+    # -- issuance ------------------------------------------------------------
+
+    def self_signed_certificate(
+        self,
+        not_before: Optional[float] = None,
+        not_after: Optional[float] = None,
+    ) -> Certificate:
+        return make_certificate(self.keys.public, self.keys, not_before, not_after)
+
+    def issue(
+        self,
+        subject_key: PublicKey,
+        not_before: Optional[float] = None,
+        not_after: Optional[float] = None,
+    ) -> Certificate:
+        certificate = make_certificate(subject_key, self.keys, not_before, not_after)
+        self._issued[certificate.serial] = certificate
+        return certificate
+
+    def issue_intermediate(self, child: "CertificateAuthority",
+                           not_before: Optional[float] = None,
+                           not_after: Optional[float] = None) -> Certificate:
+        """Certify another CA's key, building a hierarchy."""
+        return self.issue(child.keys.public, not_before, not_after)
+
+    def revoke(self, certificate: Certificate) -> None:
+        self.crl.revoke(certificate.serial)
+
+    def issued_certificates(self) -> list[Certificate]:
+        return list(self._issued.values())
+
+
+def verify_chain(
+    chain: Sequence[Certificate],
+    trust_anchors: KeyRing,
+    revocation_lists: Iterable[RevocationList] = (),
+    now: Optional[float] = None,
+) -> PublicKey:
+    """Validate ``chain`` (leaf first, root-most last) and return the leaf key.
+
+    The last certificate's issuer must be a principal in ``trust_anchors``.
+    Every certificate is checked for: issuer linkage to the next element,
+    a valid signature, validity window, and non-revocation.  Raises
+    :class:`CertificateError` (or subclasses) on any failure.
+    """
+    if not chain:
+        raise CertificateError("empty certificate chain")
+
+    crls = list(revocation_lists)
+    for position, certificate in enumerate(chain):
+        certificate.check_validity(now)
+        for crl in crls:
+            if crl.issuer == certificate.issuer and crl.is_revoked(certificate.serial):
+                raise CertificateError(
+                    f"certificate for {certificate.subject!r} is revoked")
+        if position + 1 < len(chain):
+            issuer_certificate = chain[position + 1]
+            if issuer_certificate.subject != certificate.issuer:
+                raise CertificateError(
+                    f"chain broken: {certificate.subject!r} issued by "
+                    f"{certificate.issuer!r}, next element is "
+                    f"{issuer_certificate.subject!r}")
+            certificate.verify_signature(issuer_certificate.subject_key)
+        else:
+            anchor = trust_anchors.maybe_get(certificate.issuer)
+            if anchor is None:
+                raise CertificateError(
+                    f"chain terminates at untrusted issuer {certificate.issuer!r}")
+            certificate.verify_signature(anchor)
+    return chain[0].subject_key
+
+
+def keyring_from_certificates(
+    certificates: Iterable[Certificate],
+    trust_anchors: KeyRing,
+    revocation_lists: Iterable[RevocationList] = (),
+    now: Optional[float] = None,
+) -> KeyRing:
+    """Build a key ring of every subject whose (single-link) certificate
+    validates against the anchors — how peers bootstrap issuer keys."""
+    ring = trust_anchors.copy()
+    for certificate in certificates:
+        try:
+            verify_chain([certificate], ring, revocation_lists, now)
+        except CertificateError:
+            continue
+        ring.add(certificate.subject_key)
+    return ring

@@ -1,0 +1,115 @@
+"""X.509-style identity certificates.
+
+A :class:`Certificate` binds a principal name to an RSA public key, signed
+by an issuer (a CA or the principal itself for self-signed roots).  The
+negotiation layer uses certificates to bootstrap key rings: a peer that
+trusts a CA can learn the keys of issuers it has never met — exactly how
+PeerTrust 1.0 used X.509 and the Java Cryptography Architecture.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import CertificateError, ExpiredCredentialError
+
+
+def _certificate_signing_bytes(
+    subject: str,
+    subject_key: RSAPublicKey,
+    issuer: str,
+    serial: str,
+    not_before: Optional[float],
+    not_after: Optional[float],
+) -> bytes:
+    parts = [
+        subject.encode("utf-8"),
+        subject_key.modulus.to_bytes(subject_key.byte_length, "big"),
+        subject_key.exponent.to_bytes(4, "big"),
+        issuer.encode("utf-8"),
+        serial.encode("ascii"),
+        repr(not_before).encode("ascii"),
+        repr(not_after).encode("ascii"),
+    ]
+    return b"".join(len(p).to_bytes(4, "big") + p for p in parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Certificate:
+    """A signed binding of ``subject`` to ``subject_key``."""
+
+    subject: str
+    subject_key: PublicKey
+    issuer: str
+    serial: str
+    signature: bytes
+    not_before: Optional[float] = None
+    not_after: Optional[float] = None
+
+    @property
+    def is_self_signed(self) -> bool:
+        return self.subject == self.issuer
+
+    def signing_bytes(self) -> bytes:
+        return _certificate_signing_bytes(
+            self.subject,
+            self.subject_key.rsa_key,
+            self.issuer,
+            self.serial,
+            self.not_before,
+            self.not_after,
+        )
+
+    def verify_signature(self, issuer_key: PublicKey) -> None:
+        """Check the issuer's signature; raises :class:`CertificateError`."""
+        if not issuer_key.verify(self.signing_bytes(), self.signature):
+            raise CertificateError(
+                f"certificate for {self.subject!r} fails verification "
+                f"against {issuer_key.principal!r}")
+
+    def check_validity(self, now: Optional[float] = None) -> None:
+        if self.not_before is None and self.not_after is None:
+            return
+        if now is None:
+            import time
+
+            now = time.time()
+        if self.not_before is not None and now < self.not_before:
+            raise ExpiredCredentialError(
+                f"certificate for {self.subject!r} not yet valid")
+        if self.not_after is not None and now > self.not_after:
+            raise ExpiredCredentialError(
+                f"certificate for {self.subject!r} expired")
+
+    def __repr__(self) -> str:
+        return (f"Certificate(subject={self.subject!r}, issuer={self.issuer!r}, "
+                f"serial={self.serial[:12]})")
+
+
+def make_certificate(
+    subject_key: PublicKey,
+    issuer_keys: KeyPair,
+    not_before: Optional[float] = None,
+    not_after: Optional[float] = None,
+) -> Certificate:
+    """Issue a certificate for ``subject_key`` signed by ``issuer_keys``."""
+    serial_material = _certificate_signing_bytes(
+        subject_key.principal, subject_key.rsa_key, issuer_keys.principal,
+        "", not_before, not_after)
+    serial = hashlib.sha256(serial_material).hexdigest()
+    body = _certificate_signing_bytes(
+        subject_key.principal, subject_key.rsa_key, issuer_keys.principal,
+        serial, not_before, not_after)
+    return Certificate(
+        subject=subject_key.principal,
+        subject_key=subject_key,
+        issuer=issuer_keys.principal,
+        serial=serial,
+        signature=issuer_keys.sign(body),
+        not_before=not_before,
+        not_after=not_after,
+    )

@@ -1,0 +1,88 @@
+"""Certificate/credential revocation lists.
+
+§4.2 of the paper: "To check if a requester's VISA card has been revoked,
+E-Learn must make an external function call to a VISA card revocation
+authority."  A :class:`RevocationList` is that authority's product: a
+signed, monotonically-growing set of revoked serials.  The negotiation
+layer exposes the check as the external predicate the paper's extended
+``policy49`` calls.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.crypto.keys import KeyPair, KeyRing, PublicKey
+from repro.errors import SignatureError
+
+
+def _crl_signing_bytes(issuer: str, sequence: int, serials: frozenset[str]) -> bytes:
+    body = issuer.encode("utf-8") + sequence.to_bytes(8, "big")
+    for serial in sorted(serials):
+        body += serial.encode("ascii")
+    return hashlib.sha256(body).digest()
+
+
+@dataclass
+class RevocationList:
+    """A signed CRL.
+
+    Mutation happens through :meth:`revoke`, which bumps the sequence number
+    and re-signs; consumers holding a stale copy can detect staleness by
+    comparing sequence numbers.
+    """
+
+    issuer: str
+    _issuer_keys: Optional[KeyPair] = None
+    sequence: int = 0
+    _serials: set[str] = field(default_factory=set)
+    signature: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self._issuer_keys is not None:
+            self._resign()
+
+    def _resign(self) -> None:
+        assert self._issuer_keys is not None
+        self.signature = self._issuer_keys.sign(
+            _crl_signing_bytes(self.issuer, self.sequence, frozenset(self._serials)))
+
+    # -- mutation (issuer side) ------------------------------------------------
+
+    def revoke(self, serial: str) -> None:
+        if self._issuer_keys is None:
+            raise SignatureError("cannot revoke on a verification-only CRL copy")
+        if serial not in self._serials:
+            self._serials.add(serial)
+            self.sequence += 1
+            self._resign()
+
+    def revoke_all(self, serials: Iterable[str]) -> None:
+        for serial in serials:
+            self.revoke(serial)
+
+    # -- queries (verifier side) --------------------------------------------------
+
+    def is_revoked(self, serial: str) -> bool:
+        return serial in self._serials
+
+    def verify(self, keyring: KeyRing) -> None:
+        """Check the CRL's own signature before trusting its contents."""
+        key: PublicKey = keyring.get(self.issuer)
+        expected = _crl_signing_bytes(self.issuer, self.sequence, frozenset(self._serials))
+        if not key.verify(expected, self.signature):
+            raise SignatureError(f"CRL from {self.issuer!r} fails verification")
+
+    def snapshot(self) -> "RevocationList":
+        """A verification-only copy safe to hand to other peers."""
+        copy = RevocationList(self.issuer, None, self.sequence,
+                              set(self._serials), self.signature)
+        return copy
+
+    def __len__(self) -> int:
+        return len(self._serials)
+
+    def __repr__(self) -> str:
+        return f"RevocationList({self.issuer!r}, seq={self.sequence}, {len(self)} revoked)"

@@ -1,0 +1,92 @@
+"""A peer's credential wallet.
+
+Holds verified :class:`~repro.credentials.credential.Credential` objects,
+indexed by the head indicator of the underlying rule, so the negotiation
+engine can answer "which of my credentials could prove this goal?" without
+scanning.  Deduplication is by serial.
+
+The store deliberately does *not* verify on insert — insertion happens
+either for self-issued credentials or after the negotiation layer has
+verified an incoming disclosure; keeping verification at the trust boundary
+(one place) avoids double work and split policy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Optional
+
+from repro.credentials.credential import Credential
+from repro.datalog.ast import Literal
+from repro.datalog.sld import unify_literals
+from repro.datalog.substitution import Substitution
+
+Indicator = tuple[str, int]
+
+
+class CredentialStore:
+    """Serial-deduplicated credential collection with head indexing."""
+
+    def __init__(self, credentials: Optional[Iterable[Credential]] = None) -> None:
+        self._by_serial: dict[str, Credential] = {}
+        self._by_indicator: dict[Indicator, list[Credential]] = defaultdict(list)
+        if credentials:
+            for credential in credentials:
+                self.add(credential)
+
+    def add(self, credential: Credential) -> bool:
+        """Insert; returns False when the serial is already present."""
+        if credential.serial in self._by_serial:
+            return False
+        self._by_serial[credential.serial] = credential
+        self._by_indicator[credential.rule.head.indicator].append(credential)
+        return True
+
+    def add_all(self, credentials: Iterable[Credential]) -> int:
+        return sum(1 for credential in credentials if self.add(credential))
+
+    def remove(self, serial: str) -> bool:
+        credential = self._by_serial.pop(serial, None)
+        if credential is None:
+            return False
+        bucket = self._by_indicator[credential.rule.head.indicator]
+        bucket.remove(credential)
+        return True
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, serial: str) -> Optional[Credential]:
+        return self._by_serial.get(serial)
+
+    def candidates(self, indicator: Indicator) -> list[Credential]:
+        """Credentials whose rule head has this predicate indicator —
+        the raw index bucket, before any unification."""
+        return list(self._by_indicator.get(indicator, ()))
+
+    def matching(self, goal: Literal) -> list[Credential]:
+        """Credentials whose rule head unifies with ``goal``."""
+        empty = Substitution.empty()
+        results = []
+        for credential in self._by_indicator.get(goal.indicator, ()):  # indexed
+            head = credential.rule.rename_apart().head
+            if unify_literals(goal, head, empty) is not None:
+                results.append(credential)
+        return results
+
+    def by_issuer(self, issuer: str) -> list[Credential]:
+        return [c for c in self._by_serial.values() if issuer in c.issuers]
+
+    def credentials(self) -> Iterator[Credential]:
+        return iter(self._by_serial.values())
+
+    def serials(self) -> set[str]:
+        return set(self._by_serial)
+
+    def __len__(self) -> int:
+        return len(self._by_serial)
+
+    def __contains__(self, credential: Credential) -> bool:
+        return credential.serial in self._by_serial
+
+    def __repr__(self) -> str:
+        return f"CredentialStore({len(self)} credentials)"

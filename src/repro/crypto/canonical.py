@@ -1,0 +1,121 @@
+"""Canonical byte serialisation of terms, literals, and rules.
+
+Digital signatures cover bytes, but what a peer signs is a *rule*.  Two
+requirements drive this module:
+
+1. **Determinism** — the same rule must always serialise to the same bytes,
+   regardless of which peer serialises it or in which Python process.
+2. **Renaming invariance** — ``student(X) @ "UIUC"`` and
+   ``student(Y) @ "UIUC"`` are the same statement; a signature must survive
+   the variable renaming that happens naturally as rules travel between
+   engines.  Variables are therefore normalised to ``?0, ?1, ...`` in order
+   of first occurrence before serialisation.
+
+The encoding is a length-prefixed S-expression over UTF-8, unambiguous by
+construction (every node is tagged and length-framed, so no separator
+injection is possible).
+
+What gets signed (:func:`rule_signing_bytes`) is the *context-stripped* rule
+— head, body, and the signer list — matching §3.2: contexts are removed
+before a rule is signed and sent.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.terms import Compound, Constant, Term, Variable
+
+
+def _frame(tag: str, *payloads: bytes) -> bytes:
+    """Tag + length-prefixed concatenation: unambiguous composition."""
+    body = b"".join(len(p).to_bytes(4, "big") + p for p in payloads)
+    tag_bytes = tag.encode("ascii")
+    return len(tag_bytes).to_bytes(1, "big") + tag_bytes + body
+
+
+class _VariableNormaliser:
+    """Assigns ``?0, ?1, ...`` to variables in first-occurrence order."""
+
+    def __init__(self) -> None:
+        self._names: dict[Variable, str] = {}
+
+    def name_for(self, variable: Variable) -> str:
+        assigned = self._names.get(variable)
+        if assigned is None:
+            assigned = f"?{len(self._names)}"
+            self._names[variable] = assigned
+        return assigned
+
+
+def _term_bytes(term: Term, normaliser: _VariableNormaliser) -> bytes:
+    if isinstance(term, Variable):
+        return _frame("V", normaliser.name_for(term).encode("utf-8"))
+    if isinstance(term, Constant):
+        value = term.value
+        if isinstance(value, bool):
+            return _frame("B", str(value).encode("ascii"))
+        if isinstance(value, int):
+            return _frame("I", str(value).encode("ascii"))
+        if isinstance(value, float):
+            return _frame("F", repr(value).encode("ascii"))
+        kind = "S" if term.quoted else "A"
+        return _frame(kind, value.encode("utf-8"))
+    assert isinstance(term, Compound)
+    return _frame(
+        "C",
+        term.functor.encode("utf-8"),
+        *(_term_bytes(a, normaliser) for a in term.args),
+    )
+
+
+def _literal_bytes(literal: Literal, normaliser: _VariableNormaliser) -> bytes:
+    return _frame(
+        "l",
+        literal.predicate.encode("utf-8"),
+        b"\x01" if literal.negated else b"\x00",
+        _frame("a", *(_term_bytes(t, normaliser) for t in literal.args)),
+        _frame("u", *(_term_bytes(t, normaliser) for t in literal.authority)),
+    )
+
+
+def canonical_bytes(value: Term | Literal | Rule) -> bytes:
+    """Canonical serialisation of any AST value (full rule, with contexts).
+
+    Used for content hashing and deduplication; for signing use
+    :func:`rule_signing_bytes`, which strips contexts first.
+    """
+    normaliser = _VariableNormaliser()
+    if isinstance(value, Term):
+        return _frame("T", _term_bytes(value, normaliser))
+    if isinstance(value, Literal):
+        return _frame("L", _literal_bytes(value, normaliser))
+    if isinstance(value, Rule):
+        parts = [
+            _literal_bytes(value.head, normaliser),
+            _frame("b", *(_literal_bytes(l, normaliser) for l in value.body)),
+        ]
+        parts.append(
+            _frame("g", *(_literal_bytes(l, normaliser) for l in value.guard))
+            if value.guard is not None
+            else _frame("g0")
+        )
+        parts.append(
+            _frame("x", *(_literal_bytes(l, normaliser) for l in value.rule_context))
+            if value.rule_context is not None
+            else _frame("x0")
+        )
+        parts.append(_frame("s", *(_term_bytes(t, normaliser) for t in value.signers)))
+        return _frame("R", *parts)
+    raise TypeError(f"cannot canonicalise {type(value).__name__}")
+
+
+def rule_signing_bytes(rule: Rule) -> bytes:
+    """The bytes a signer commits to: the context-stripped rule.
+
+    Contexts (release guards and rule contexts) are the *holder's* dissemination
+    policy, not part of the signed statement; §3.2 strips them before signing.
+    The signer list is included so a signature cannot be replayed under a
+    different claimed signer chain.
+    """
+    stripped = rule.strip_contexts()
+    return canonical_bytes(stripped)

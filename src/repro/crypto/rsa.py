@@ -1,0 +1,116 @@
+"""RSA signatures over SHA-256, implemented from first principles.
+
+Key generation uses :mod:`repro.crypto.numbertheory`; signing follows the
+EMSA-PKCS1-v1.5 shape — a SHA-256 ``DigestInfo`` blob padded with
+``00 01 FF.. 00`` to the modulus size — so signatures are deterministic and
+verification is an exact byte comparison after the public-key operation.
+
+This module works on raw integers and byte strings; the typed wrapper
+(:class:`repro.crypto.keys.KeyPair`) is what the rest of the library uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.numbertheory import modular_inverse, random_prime_pair
+from repro.errors import CryptoError, SignatureError
+
+PUBLIC_EXPONENT = 65537
+
+# DER prefix of DigestInfo for SHA-256 (RFC 8017 §9.2 note 1).
+_SHA256_DIGEST_INFO_PREFIX = bytes.fromhex(
+    "3031300d060960864801650304020105000420"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RSAPublicKey:
+    modulus: int
+    exponent: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.modulus.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True, slots=True)
+class RSAPrivateKey:
+    modulus: int
+    exponent: int        # private exponent d
+    prime_p: int
+    prime_q: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.modulus.bit_length() + 7) // 8
+
+
+def generate_keypair(bits: int = 1024) -> tuple[RSAPublicKey, RSAPrivateKey]:
+    """Generate an RSA key pair with a modulus of ``bits`` bits."""
+    if bits < 256:
+        raise CryptoError("modulus below 256 bits cannot hold a SHA-256 DigestInfo")
+    while True:
+        p, q = random_prime_pair(bits // 2)
+        modulus = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % PUBLIC_EXPONENT == 0:
+            continue  # e must be invertible mod phi
+        if modulus.bit_length() < bits:
+            continue
+        d = modular_inverse(PUBLIC_EXPONENT, phi)
+        return (
+            RSAPublicKey(modulus, PUBLIC_EXPONENT),
+            RSAPrivateKey(modulus, d, p, q),
+        )
+
+
+def _emsa_pkcs1_encode(message: bytes, target_length: int) -> bytes:
+    """EMSA-PKCS1-v1.5: 00 01 FF..FF 00 DigestInfo(SHA-256(message))."""
+    digest_info = _SHA256_DIGEST_INFO_PREFIX + hashlib.sha256(message).digest()
+    padding_length = target_length - len(digest_info) - 3
+    if padding_length < 8:
+        raise CryptoError("modulus too small for SHA-256 signature encoding")
+    return b"\x00\x01" + b"\xff" * padding_length + b"\x00" + digest_info
+
+
+def sign(message: bytes, private_key: RSAPrivateKey) -> bytes:
+    """Deterministic RSA signature of ``message``."""
+    encoded = _emsa_pkcs1_encode(message, private_key.byte_length)
+    representative = int.from_bytes(encoded, "big")
+    # CRT acceleration: ~4x faster than a single modexp on the full modulus.
+    p, q = private_key.prime_p, private_key.prime_q
+    d = private_key.exponent
+    sig_p = pow(representative % p, d % (p - 1), p)
+    sig_q = pow(representative % q, d % (q - 1), q)
+    q_inverse = modular_inverse(q, p)
+    h = (q_inverse * (sig_p - sig_q)) % p
+    signature_int = sig_q + h * q
+    return signature_int.to_bytes(private_key.byte_length, "big")
+
+
+def verify(message: bytes, signature: bytes, public_key: RSAPublicKey) -> bool:
+    """True when ``signature`` is a valid signature of ``message``.
+
+    Returns a boolean rather than raising: callers decide whether a bad
+    signature is an error (:class:`repro.errors.SignatureError`) or just a
+    rejected credential.
+    """
+    if len(signature) != public_key.byte_length:
+        return False
+    signature_int = int.from_bytes(signature, "big")
+    if signature_int >= public_key.modulus:
+        return False
+    recovered = pow(signature_int, public_key.exponent, public_key.modulus)
+    recovered_bytes = recovered.to_bytes(public_key.byte_length, "big")
+    try:
+        expected = _emsa_pkcs1_encode(message, public_key.byte_length)
+    except CryptoError:
+        return False
+    return recovered_bytes == expected
+
+
+def verify_or_raise(message: bytes, signature: bytes, public_key: RSAPublicKey) -> None:
+    if not verify(message, signature, public_key):
+        raise SignatureError("RSA signature verification failed")

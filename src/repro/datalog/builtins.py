@@ -1,0 +1,232 @@
+"""Builtin and external predicates.
+
+Builtins cover the comparison operators the paper's programs use
+(``Price < 2000``, ``Requester = Party``) plus arithmetic evaluation over
+the expression terms the parser builds (``+ - * /``).
+
+External predicates are the paper's escape hatch to the outside world —
+``authenticatesTo`` (footnote 3), the VISA revocation check
+``purchaseApproved`` (§4.2) — and are registered per peer on a
+:class:`BuiltinRegistry`.  An external predicate is a Python callable that
+receives the *resolved* argument terms and returns an iterable of argument
+tuples that satisfy it (for checks, return ``[args]`` for success or ``[]``
+for failure).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
+
+from repro.datalog.ast import Literal
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Compound, Constant, Term, Variable
+from repro.datalog.unify import unify
+from repro.errors import BuiltinError
+
+Numeric = Union[int, float]
+
+# An external predicate maps resolved argument terms to an iterable of
+# satisfying argument tuples.  Unbound variables are passed through as
+# Variable terms; the external decides whether it can enumerate them.
+ExternalPredicate = Callable[[tuple[Term, ...]], Iterable[Sequence[Term]]]
+
+_ARITH_FUNCTORS = {"+", "-", "*", "/"}
+
+
+def evaluate_arithmetic(term: Term, subst: Substitution) -> Numeric:
+    """Evaluate an arithmetic expression term to a Python number.
+
+    Raises :class:`BuiltinError` on unbound variables or non-numeric leaves —
+    the classic "instantiation fault", surfaced as an error because silent
+    failure would mask policy bugs.
+    """
+    term = subst.walk(term)
+    if isinstance(term, Variable):
+        raise BuiltinError(f"arithmetic over unbound variable {term.name}")
+    if isinstance(term, Constant):
+        if term.is_number:
+            return term.value  # type: ignore[return-value]
+        raise BuiltinError(f"non-numeric constant {term} in arithmetic")
+    if isinstance(term, Compound):
+        if term.functor == "-" and len(term.args) == 1:
+            return -evaluate_arithmetic(term.args[0], subst)
+        if term.functor in _ARITH_FUNCTORS and len(term.args) == 2:
+            left = evaluate_arithmetic(term.args[0], subst)
+            right = evaluate_arithmetic(term.args[1], subst)
+            if term.functor == "+":
+                return left + right
+            if term.functor == "-":
+                return left - right
+            if term.functor == "*":
+                return left * right
+            if right == 0:
+                raise BuiltinError("division by zero")
+            return left / right
+    raise BuiltinError(f"cannot evaluate {term} arithmetically")
+
+
+def _both_sides(goal: Literal, subst: Substitution) -> tuple[Term, Term]:
+    if len(goal.args) != 2:
+        raise BuiltinError(f"{goal.predicate} expects 2 arguments")
+    return subst.resolve(goal.args[0]), subst.resolve(goal.args[1])
+
+
+def _solve_equality(goal: Literal, subst: Substitution) -> Iterator[Substitution]:
+    """``=`` unifies; if both sides are arithmetic-evaluable, compare values
+    instead so ``X = 2 + 3`` and ``5 = 2 + 3`` behave as users expect."""
+    left, right = goal.args
+    left_walked, right_walked = subst.walk(left), subst.walk(right)
+    arith = isinstance(left_walked, Compound) and left_walked.functor in _ARITH_FUNCTORS or (
+        isinstance(right_walked, Compound) and right_walked.functor in _ARITH_FUNCTORS
+    )
+    if arith:
+        try:
+            if isinstance(left_walked, Variable):
+                value = evaluate_arithmetic(right, subst)
+                bound = unify(left_walked, Constant(value), subst)
+                if bound is not None:
+                    yield bound
+                return
+            if isinstance(right_walked, Variable):
+                value = evaluate_arithmetic(left, subst)
+                bound = unify(right_walked, Constant(value), subst)
+                if bound is not None:
+                    yield bound
+                return
+            if evaluate_arithmetic(left, subst) == evaluate_arithmetic(right, subst):
+                yield subst
+            return
+        except BuiltinError:
+            pass  # fall through to syntactic unification
+    result = unify(left, right, subst)
+    if result is not None:
+        yield result
+
+
+def _solve_disequality(goal: Literal, subst: Substitution) -> Iterator[Substitution]:
+    left, right = _both_sides(goal, subst)
+    from repro.datalog.terms import is_ground
+
+    if not (is_ground(left) and is_ground(right)):
+        raise BuiltinError(f"!= requires ground arguments, got {left} != {right}")
+    if left != right:
+        yield subst
+
+
+def _numeric_comparison(op: str) -> Callable[[Literal, Substitution], Iterator[Substitution]]:
+    comparators: dict[str, Callable[[Numeric, Numeric], bool]] = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+    comparator = comparators[op]
+
+    def solve(goal: Literal, subst: Substitution) -> Iterator[Substitution]:
+        if len(goal.args) != 2:
+            raise BuiltinError(f"{op} expects 2 arguments")
+        left = evaluate_arithmetic(goal.args[0], subst)
+        right = evaluate_arithmetic(goal.args[1], subst)
+        if comparator(left, right):
+            yield subst
+
+    return solve
+
+
+def _solve_identity(goal: Literal, subst: Substitution) -> Iterator[Substitution]:
+    """``==`` — structural equality of resolved terms, no binding."""
+    left, right = _both_sides(goal, subst)
+    if left == right:
+        yield subst
+
+
+BuiltinSolver = Callable[[Literal, Substitution], Iterator[Substitution]]
+
+
+class BuiltinRegistry:
+    """Per-engine table of builtin solvers and external predicates.
+
+    The default table contains the comparison operators.  Peers extend the
+    registry with :meth:`register_external` for predicates like
+    ``authenticatesTo`` or ``purchaseApproved``.
+    """
+
+    def __init__(self) -> None:
+        self._solvers: dict[tuple[str, int], BuiltinSolver] = {
+            ("=", 2): _solve_equality,
+            ("!=", 2): _solve_disequality,
+            ("==", 2): _solve_identity,
+            ("<", 2): _numeric_comparison("<"),
+            ("<=", 2): _numeric_comparison("<="),
+            (">", 2): _numeric_comparison(">"),
+            (">=", 2): _numeric_comparison(">="),
+        }
+        self._externals: dict[tuple[str, int], ExternalPredicate] = {}
+
+    def copy(self) -> "BuiltinRegistry":
+        duplicate = BuiltinRegistry()
+        duplicate._solvers = dict(self._solvers)
+        duplicate._externals = dict(self._externals)
+        return duplicate
+
+    # -- registration -------------------------------------------------------------
+
+    def register_solver(self, name: str, arity: int, solver: BuiltinSolver) -> None:
+        """Register a low-level solver with full access to the substitution."""
+        self._solvers[(name, arity)] = solver
+
+    def register_external(self, name: str, arity: int, external: ExternalPredicate) -> None:
+        """Register an external predicate (paper §4.2: external function
+        calls such as the VISA revocation authority)."""
+        self._externals[(name, arity)] = external
+
+    def register_check(self, name: str, arity: int,
+                       check: Callable[..., bool]) -> None:
+        """Register a boolean check over ground Python values.
+
+        Convenience wrapper: constants are unwrapped to their Python values;
+        the check fails (raises) on unbound variables.
+        """
+
+        def external(args: tuple[Term, ...]) -> Iterable[Sequence[Term]]:
+            values = []
+            for arg in args:
+                if isinstance(arg, Variable):
+                    raise BuiltinError(
+                        f"external check {name}/{arity} requires ground arguments")
+                values.append(arg.value if isinstance(arg, Constant) else arg)
+            return [args] if check(*values) else []
+
+        self.register_external(name, arity, external)
+
+    # -- lookup / solving ------------------------------------------------------------
+
+    def is_builtin(self, indicator: tuple[str, int]) -> bool:
+        return indicator in self._solvers or indicator in self._externals
+
+    def solve(self, goal: Literal, subst: Substitution) -> Iterator[Substitution]:
+        """Enumerate solutions of a builtin/external goal."""
+        indicator = goal.indicator
+        solver = self._solvers.get(indicator)
+        if solver is not None:
+            yield from solver(goal, subst)
+            return
+        external = self._externals.get(indicator)
+        if external is None:
+            raise BuiltinError(f"no builtin registered for {indicator}")
+        resolved = tuple(subst.resolve(a) for a in goal.args)
+        for answer in external(resolved):
+            answer_terms = tuple(answer)
+            if len(answer_terms) != len(goal.args):
+                raise BuiltinError(
+                    f"external {indicator} returned a tuple of arity {len(answer_terms)}")
+            extended: Optional[Substitution] = subst
+            for goal_arg, answer_term in zip(goal.args, answer_terms):
+                extended = unify(goal_arg, answer_term, extended)
+                if extended is None:
+                    break
+            if extended is not None:
+                yield extended
+
+
+DEFAULT_REGISTRY = BuiltinRegistry()

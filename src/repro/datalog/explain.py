@@ -1,0 +1,91 @@
+"""Human-readable proof explanations.
+
+Proof trees (:class:`repro.datalog.sld.ProofNode`) record *how* a statement
+was established; this module renders them as indented prose for audit
+trails, CLI output, and demos — including the trust provenance that makes
+PeerTrust proofs interesting: which issuer signed what, which peer answered
+remotely, and whether an answer was independently verified or merely
+asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datalog.sld import ProofNode, Solution
+
+
+def _signer_names(node: ProofNode) -> str:
+    if node.rule is None or not node.rule.signers:
+        return ""
+    return ", ".join(str(s).strip('"') for s in node.rule.signers)
+
+
+def _headline(node: ProofNode) -> str:
+    goal = str(node.goal)
+    if node.kind == "fact":
+        if node.rule is not None and node.rule.is_signed:
+            return f"{goal} — a credential signed by {_signer_names(node)}"
+        return f"{goal} — a locally stated fact"
+    if node.kind == "rule":
+        return f"{goal} — derived by a local rule"
+    if node.kind == "credential":
+        base = f"{goal} — backed by a credential signed by {_signer_names(node)}"
+        if node.children:
+            base += ", whose conditions hold:"
+        return base
+    if node.kind == "builtin":
+        return f"{goal} — checked by computation"
+    if node.kind == "negation":
+        return f"{goal} — no proof of the positive statement exists"
+    if node.kind == "remote":
+        return (f"{goal} — answered by peer {node.peer!r} and re-verified "
+                f"from the signed evidence below:")
+    if node.kind == "asserted":
+        return (f"{goal} — ASSERTED by peer {node.peer!r} without "
+                f"verifiable evidence (certification disabled)")
+    if node.kind in ("authority-drop", "evidence-drop"):
+        return (f"{goal} — the \"{node.peer} says\" layer is subsumed by "
+                f"direct evidence:")
+    if node.kind == "table":
+        return f"{goal} — replayed from a memoised answer"
+    return f"{goal} — [{node.kind}]"
+
+
+def explain(node: ProofNode, indent: int = 0) -> str:
+    """Render one proof tree as indented prose."""
+    lines = [" " * indent + ("• " if indent else "") + _headline(node)]
+    for child in node.children:
+        lines.append(explain(child, indent + 2))
+    return "\n".join(lines)
+
+
+def explain_solution(solution: Solution, title: Optional[str] = None) -> str:
+    """Render every top-level proof of a solution."""
+    lines = []
+    if title:
+        lines.append(title)
+    for proof in solution.proofs:
+        lines.append(explain(proof))
+    return "\n".join(lines)
+
+
+def provenance(node: ProofNode) -> list[str]:
+    """The distinct principals whose signatures or answers this proof
+    depends on — the trust base of the conclusion."""
+    principals: list[str] = []
+
+    def visit(current: ProofNode) -> None:
+        signer = _signer_names(current)
+        if signer:
+            for name in signer.split(", "):
+                if name not in principals:
+                    principals.append(name)
+        if current.kind in ("remote", "asserted") and current.peer:
+            if current.peer not in principals:
+                principals.append(current.peer)
+        for child in current.children:
+            visit(child)
+
+    visit(node)
+    return principals

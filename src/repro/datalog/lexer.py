@@ -1,0 +1,174 @@
+"""Tokeniser for the PeerTrust concrete syntax.
+
+The syntax covers everything the paper's example programs use:
+
+- rules ``head <- body.`` (``:-`` is accepted as a synonym for ``<-``)
+- authority chains ``literal @ "UIUC" @ X``
+- release guards on heads ``literal $ guard <- body.``
+- rule contexts ``head <-{true} body.`` (the paper's ``←_true`` subscript)
+- signatures ``signedBy ["UIUC"]`` after a fact or after ``<-``
+- infix comparisons ``Price < 2000``, ``Requester = Party``
+- arithmetic expressions ``Price * 2 + Fee``
+- negation as failure ``not goal``
+- ``%``, ``//`` and ``/* ... */`` comments
+
+The lexer produces a flat list of :class:`Token` with 1-based line/column
+positions for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+
+# Token kinds.
+IDENT = "IDENT"          # lowercase-initial identifier: cs101, price, signedBy is special-cased
+VAR = "VAR"              # uppercase or underscore-initial identifier: X, Requester, _
+STRING = "STRING"        # "E-Learn"
+NUMBER = "NUMBER"        # 2000, 3.5
+PUNCT = "PUNCT"          # ( ) [ ] { } , . @ $ <- :- < > <= >= = != + - * /
+KEYWORD = "KEYWORD"      # signedBy, not, true
+EOF = "EOF"
+
+KEYWORDS = {"signedBy", "not", "true"}
+
+# Multi-character operators must be matched longest-first.
+_OPERATORS = ["<-", ":-", "<=", ">=", "!=", "==", "(", ")", "[", "]", "{", "}",
+              ",", ".", "@", "$", "<", ">", "=", "+", "-", "*", "/"]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Single-pass tokeniser with position tracking."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, line=self.line, column=self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and all three comment forms."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "%" or (ch == "/" and self._peek(1) == "/"):
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def _lex_string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise ParseError("unterminated string literal", line=line, column=column)
+            if ch == '"':
+                self._advance()
+                return Token(STRING, "".join(chars), line, column)
+            if ch == "\\":
+                self._advance()
+                escape = self._peek()
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if escape not in mapping:
+                    raise self._error(f"unknown escape sequence \\{escape}")
+                chars.append(mapping[escape])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        # A '.' is part of the number only when followed by a digit —
+        # otherwise it is the rule terminator.
+        if self._peek() == "." and self._peek(1).isdigit():
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        return Token(NUMBER, self.source[start:self.pos], line, column)
+
+    def _lex_word(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        if text in KEYWORDS:
+            return Token(KEYWORD, text, line, column)
+        if text[0].isupper() or text[0] == "_":
+            return Token(VAR, text, line, column)
+        return Token(IDENT, text, line, column)
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                yield Token(EOF, "", self.line, self.column)
+                return
+            ch = self._peek()
+            if ch == '"':
+                yield self._lex_string()
+            elif ch.isdigit():
+                yield self._lex_number()
+            elif ch.isalpha() or ch == "_":
+                yield self._lex_word()
+            else:
+                for op in _OPERATORS:
+                    if self.source.startswith(op, self.pos):
+                        line, column = self.line, self.column
+                        self._advance(len(op))
+                        yield Token(PUNCT, op, line, column)
+                        break
+                else:
+                    raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise ``source`` into a list ending with an EOF token."""
+    return list(Lexer(source).tokens())

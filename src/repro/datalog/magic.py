@@ -1,0 +1,190 @@
+"""Magic-set rewriting for goal-directed bottom-up evaluation.
+
+The classic deductive-database transformation: given a query with some
+arguments bound, rewrite the program so that the semi-naive fixpoint only
+derives facts *relevant* to the query, instead of the whole model.  Used by
+the engine ablation experiment (E7) to compare plain bottom-up, magic-set
+bottom-up, and top-down tabled evaluation on the same workloads.
+
+Scope: positive Datalog (no negation, no authority chains) with inline
+comparison builtins.  That covers the policy-free core — the transformation
+is an *engine* optimisation, independent of PeerTrust's trust features.
+
+The implementation follows the textbook construction with the left-to-right
+sideways information passing strategy (SIPS):
+
+- predicates are *adorned* with a string of ``b``/``f`` marks, one per
+  argument (bound/free at call time);
+- each adorned IDB rule gets a ``magic`` guard literal carrying its bound
+  arguments;
+- each IDB body literal spawns a magic rule that propagates bindings from
+  the head guard through the preceding body literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.builtins import DEFAULT_REGISTRY, BuiltinRegistry
+from repro.datalog.seminaive import FixpointResult, seminaive_fixpoint
+from repro.datalog.terms import Term, Variable, variables_in
+from repro.errors import EvaluationError
+
+Indicator = tuple[str, int]
+
+
+def _adornment_of(goal: Literal, bound_vars: set[Variable]) -> str:
+    """The b/f pattern of ``goal`` given the currently bound variables."""
+    marks = []
+    for arg in goal.args:
+        arg_vars = variables_in(arg)
+        is_bound = not arg_vars or arg_vars <= bound_vars
+        marks.append("b" if is_bound else "f")
+    return "".join(marks)
+
+
+def _adorned_name(predicate: str, adornment: str) -> str:
+    return f"{predicate}${adornment}"
+
+
+def _magic_name(predicate: str, adornment: str) -> str:
+    return f"magic${predicate}${adornment}"
+
+
+def _bound_args(goal: Literal, adornment: str) -> tuple[Term, ...]:
+    return tuple(arg for arg, mark in zip(goal.args, adornment) if mark == "b")
+
+
+@dataclass
+class MagicProgram:
+    """The rewritten program plus everything needed to read answers back."""
+
+    rules: list[Rule]
+    query_goal: Literal              # original query literal
+    adorned_query: Literal           # what to look up in the fixpoint
+    seed: Rule                       # the magic seed fact
+
+    def evaluate(self, builtins: Optional[BuiltinRegistry] = None) -> FixpointResult:
+        return seminaive_fixpoint(self.rules, builtins=builtins)
+
+    def answers(self, result: FixpointResult) -> list[Literal]:
+        """Project fixpoint facts back onto the original predicate name."""
+        matched = result.matching(self.adorned_query)
+        return [Literal(self.query_goal.predicate, m.args) for m in matched]
+
+
+def magic_transform(
+    rules: Iterable[Rule],
+    query: Literal,
+    builtins: Optional[BuiltinRegistry] = None,
+) -> MagicProgram:
+    """Rewrite ``rules`` for the binding pattern of ``query``.
+
+    IDB predicates are those with at least one non-fact rule; everything
+    else (pure fact predicates, builtins) is EDB and passes through
+    unadorned.
+    """
+    registry = builtins if builtins is not None else DEFAULT_REGISTRY
+    rule_list = [r for r in rules if not r.is_release_policy]
+    for rule in rule_list:
+        for literal in (rule.head, *rule.body):
+            if literal.authority:
+                raise EvaluationError(
+                    "magic-set rewriting applies to plain Datalog; "
+                    f"literal {literal} carries an authority chain")
+            if literal.negated:
+                raise EvaluationError(
+                    "magic-set rewriting implemented for positive programs only")
+
+    idb: set[Indicator] = {
+        rule.head.indicator for rule in rule_list if not rule.is_fact
+    }
+    rules_by_head: dict[Indicator, list[Rule]] = {}
+    for rule in rule_list:
+        rules_by_head.setdefault(rule.head.indicator, []).append(rule)
+
+    if query.indicator not in idb:
+        # Query over an EDB predicate: nothing to specialise; evaluate as-is.
+        adorned_query = query
+        seed = Rule(Literal("magic$__edb__", ()), ())
+        return MagicProgram(rule_list, query, adorned_query, seed)
+
+    query_adornment = _adornment_of(query, set())
+    transformed: list[Rule] = []
+    # EDB facts/rules pass through untouched.
+    for rule in rule_list:
+        if rule.head.indicator not in idb:
+            transformed.append(rule)
+
+    worklist: list[tuple[Indicator, str]] = [(query.indicator, query_adornment)]
+    done: set[tuple[Indicator, str]] = set()
+
+    while worklist:
+        (predicate, arity), adornment = worklist.pop()
+        if ((predicate, arity), adornment) in done:
+            continue
+        done.add(((predicate, arity), adornment))
+
+        for rule in rules_by_head.get((predicate, arity), []):
+            head = rule.head
+            bound_vars: set[Variable] = set()
+            for arg, mark in zip(head.args, adornment):
+                if mark == "b":
+                    bound_vars |= variables_in(arg)
+
+            magic_guard = Literal(
+                _magic_name(predicate, adornment), _bound_args(head, adornment)
+            )
+            new_body: list[Literal] = [magic_guard]
+
+            for body_literal in rule.body:
+                if body_literal.is_comparison or registry.is_builtin(body_literal.indicator):
+                    new_body.append(body_literal)
+                    bound_vars |= body_literal.variables()
+                    continue
+                if body_literal.indicator in idb:
+                    body_adornment = _adornment_of(body_literal, bound_vars)
+                    # Magic rule: seed the callee's magic set from what is
+                    # known once the preceding body prefix has been joined.
+                    magic_head = Literal(
+                        _magic_name(body_literal.predicate, body_adornment),
+                        _bound_args(body_literal, body_adornment),
+                    )
+                    transformed.append(Rule(magic_head, tuple(new_body)))
+                    adorned = Literal(
+                        _adorned_name(body_literal.predicate, body_adornment),
+                        body_literal.args,
+                    )
+                    new_body.append(adorned)
+                    worklist.append((body_literal.indicator, body_adornment))
+                else:
+                    new_body.append(body_literal)
+                bound_vars |= body_literal.variables()
+
+            adorned_head = Literal(_adorned_name(predicate, adornment), head.args)
+            transformed.append(Rule(adorned_head, tuple(new_body)))
+
+    # Seed: the query's bound arguments enter the top magic predicate.
+    seed_args = _bound_args(query, query_adornment)
+    if any(variables_in(arg) for arg in seed_args):
+        raise EvaluationError("query bound arguments must be ground")
+    seed = Rule(Literal(_magic_name(query.predicate, query_adornment), seed_args), ())
+    transformed.append(seed)
+
+    adorned_query = Literal(
+        _adorned_name(query.predicate, query_adornment), query.args
+    )
+    return MagicProgram(transformed, query, adorned_query, seed)
+
+
+def magic_query(
+    rules: Iterable[Rule],
+    query: Literal,
+    builtins: Optional[BuiltinRegistry] = None,
+) -> list[Literal]:
+    """One-shot convenience: transform, evaluate, and return the answers."""
+    program = magic_transform(rules, query, builtins)
+    result = program.evaluate(builtins)
+    return program.answers(result)

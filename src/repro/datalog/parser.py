@@ -1,0 +1,277 @@
+"""Recursive-descent parser for the PeerTrust concrete syntax.
+
+Grammar (terminals in quotes; ``*`` repetition, ``?`` optional)::
+
+    program     := rule* EOF
+    rule        := head guard? signed? ( arrow rulectx? signed? body )? "."
+    head        := literal
+    guard       := "$" goals
+    arrow       := "<-" | ":-"
+    rulectx     := "{" goals "}"
+    signed      := "signedBy" "[" term ("," term)* "]"
+    body        := goals
+    goals       := "true" | goal ("," goal)*
+    goal        := "not"? ( comparison | literal )
+    literal     := predicate ( "(" expr ("," expr)* ")" )? ( "@" primary )*
+    comparison  := expr cmpop expr
+    cmpop       := "<" | "<=" | ">" | ">=" | "=" | "!=" | "=="
+    expr        := mul (("+" | "-") mul)*
+    mul         := unary (("*" | "/") unary)*
+    unary       := "-" unary | primary
+    primary     := NUMBER | STRING | VAR
+                 | IDENT ( "(" expr ("," expr)* ")" )?
+                 | "(" expr ")"
+
+The parser builds :class:`repro.datalog.ast.Literal` and
+:class:`repro.datalog.ast.Rule` values.  ``$ true`` becomes an empty guard
+tuple, ``<-{true}`` an empty rule-context tuple; an absent guard/context is
+``None`` (see the AST module for the semantics of the distinction).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.lexer import EOF, IDENT, KEYWORD, NUMBER, PUNCT, STRING, VAR, Token, tokenize
+from repro.datalog.terms import Compound, Constant, Term, Variable
+from repro.errors import ParseError
+
+_COMPARISON_OPS = {"<", "<=", ">", ">=", "=", "!=", "=="}
+_ADDITIVE_OPS = {"+", "-"}
+_MULTIPLICATIVE_OPS = {"*", "/"}
+
+
+class Parser:
+    """Token-stream parser; one instance per source text."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _error(self, message: str) -> ParseError:
+        token = self._current()
+        found = token.text if token.kind != EOF else "end of input"
+        return ParseError(f"{message} (found {found!r})", line=token.line, column=token.column)
+
+    def _at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._current()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._at(kind, text):
+            token = self._current()
+            self.index += 1
+            return token
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            expected = text if text is not None else kind
+            raise self._error(f"expected {expected!r}")
+        return token
+
+    def _at_arrow(self) -> bool:
+        return self._at(PUNCT, "<-") or self._at(PUNCT, ":-")
+
+    # -- terms -------------------------------------------------------------------
+
+    def parse_expression(self) -> Term:
+        left = self._parse_multiplicative()
+        while self._current().kind == PUNCT and self._current().text in _ADDITIVE_OPS:
+            op = self._current().text
+            self.index += 1
+            right = self._parse_multiplicative()
+            left = Compound(op, (left, right))
+        return left
+
+    def _parse_multiplicative(self) -> Term:
+        left = self._parse_unary()
+        while self._current().kind == PUNCT and self._current().text in _MULTIPLICATIVE_OPS:
+            op = self._current().text
+            self.index += 1
+            right = self._parse_unary()
+            left = Compound(op, (left, right))
+        return left
+
+    def _parse_unary(self) -> Term:
+        if self._accept(PUNCT, "-"):
+            inner = self._parse_unary()
+            if isinstance(inner, Constant) and inner.is_number:
+                return Constant(-inner.value)  # type: ignore[operator]
+            return Compound("-", (inner,))
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Term:
+        token = self._current()
+        if token.kind == NUMBER:
+            self.index += 1
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Constant(value)
+        if token.kind == STRING:
+            self.index += 1
+            return Constant(token.text, quoted=True)
+        if token.kind == VAR:
+            self.index += 1
+            return Variable(token.text)
+        if token.kind == IDENT or (token.kind == KEYWORD and token.text == "true"):
+            self.index += 1
+            if self._accept(PUNCT, "("):
+                args = [self.parse_expression()]
+                while self._accept(PUNCT, ","):
+                    args.append(self.parse_expression())
+                self._expect(PUNCT, ")")
+                return Compound(token.text, tuple(args))
+            return Constant(token.text, quoted=False)
+        if self._accept(PUNCT, "("):
+            inner = self.parse_expression()
+            self._expect(PUNCT, ")")
+            return inner
+        raise self._error("expected a term")
+
+    # -- literals and goals --------------------------------------------------------
+
+    def _parse_authority_chain(self) -> tuple[Term, ...]:
+        chain: list[Term] = []
+        while self._accept(PUNCT, "@"):
+            chain.append(self._parse_primary())
+        return tuple(chain)
+
+    def parse_goal(self) -> Literal:
+        negated = self._accept(KEYWORD, "not") is not None
+        literal = self._parse_goal_core()
+        if negated:
+            if literal.negated:
+                raise self._error("double negation is not supported")
+            literal = Literal(literal.predicate, literal.args, literal.authority, True)
+        return literal
+
+    def _parse_goal_core(self) -> Literal:
+        expression = self.parse_expression()
+        token = self._current()
+        if token.kind == PUNCT and token.text in _COMPARISON_OPS:
+            self.index += 1
+            right = self.parse_expression()
+            return Literal(token.text, (expression, right))
+        # Not a comparison: the expression must be predicate-shaped.
+        if isinstance(expression, Compound):
+            literal = Literal(expression.functor, expression.args)
+        elif isinstance(expression, Constant) and isinstance(expression.value, str) and not expression.quoted:
+            literal = Literal(expression.value, ())
+        else:
+            raise self._error("expected a predicate application or comparison")
+        authority = self._parse_authority_chain()
+        if authority:
+            literal = Literal(literal.predicate, literal.args, authority)
+        return literal
+
+    def parse_goals(self) -> tuple[Literal, ...]:
+        """Parse ``true`` (empty conjunction) or a comma-separated goal list."""
+        if self._at(KEYWORD, "true") and not self._next_is_callish():
+            self.index += 1
+            return ()
+        goals = [self.parse_goal()]
+        while self._accept(PUNCT, ","):
+            goals.append(self.parse_goal())
+        return tuple(goals)
+
+    def _next_is_callish(self) -> bool:
+        """True when the token after the current one is '(' — i.e. the
+        current ``true`` is being used as an ordinary functor."""
+        nxt = self.tokens[self.index + 1] if self.index + 1 < len(self.tokens) else None
+        return nxt is not None and nxt.kind == PUNCT and nxt.text == "("
+
+    # -- rules --------------------------------------------------------------------
+
+    def _parse_signers(self) -> tuple[Term, ...]:
+        self._expect(PUNCT, "[")
+        signers = [self._parse_primary()]
+        while self._accept(PUNCT, ","):
+            signers.append(self._parse_primary())
+        self._expect(PUNCT, "]")
+        return tuple(signers)
+
+    def parse_rule(self) -> Rule:
+        head = self._parse_goal_core()
+        if head.negated or head.is_comparison:
+            raise self._error("rule head must be a positive, non-comparison literal")
+
+        guard: Optional[tuple[Literal, ...]] = None
+        if self._accept(PUNCT, "$"):
+            guard = self.parse_goals()
+
+        signers: tuple[Term, ...] = ()
+        if self._accept(KEYWORD, "signedBy"):
+            signers = self._parse_signers()
+
+        body: tuple[Literal, ...] = ()
+        rule_context: Optional[tuple[Literal, ...]] = None
+        if self._at_arrow():
+            self.index += 1
+            if self._accept(PUNCT, "{"):
+                rule_context = self.parse_goals()
+                self._expect(PUNCT, "}")
+            if self._accept(KEYWORD, "signedBy"):
+                if signers:
+                    raise self._error("duplicate signedBy annotation")
+                signers = self._parse_signers()
+            body = self.parse_goals()
+
+        self._expect(PUNCT, ".")
+        return Rule(head, body, guard, rule_context, signers)
+
+    def parse_program(self) -> list[Rule]:
+        rules: list[Rule] = []
+        while not self._at(EOF):
+            rules.append(self.parse_rule())
+        return rules
+
+
+# -- module-level convenience API ---------------------------------------------------
+
+
+def parse_program(source: str) -> list[Rule]:
+    """Parse a whole program (a sequence of ``.``-terminated rules)."""
+    return Parser(source).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse exactly one rule (must consume all input)."""
+    parser = Parser(source)
+    rule = parser.parse_rule()
+    if not parser._at(EOF):
+        raise parser._error("trailing input after rule")
+    return rule
+
+
+def parse_literal(source: str) -> Literal:
+    """Parse a single goal literal, e.g. for queries."""
+    parser = Parser(source)
+    literal = parser.parse_goal()
+    if not parser._at(EOF):
+        raise parser._error("trailing input after literal")
+    return literal
+
+
+def parse_goals(source: str) -> tuple[Literal, ...]:
+    """Parse a conjunction of goals (a query body)."""
+    parser = Parser(source)
+    goals = parser.parse_goals()
+    if not parser._at(EOF):
+        raise parser._error("trailing input after goals")
+    return goals
+
+
+def parse_term(source: str) -> Term:
+    """Parse a single term/expression."""
+    parser = Parser(source)
+    term = parser.parse_expression()
+    if not parser._at(EOF):
+        raise parser._error("trailing input after term")
+    return term

@@ -1,0 +1,74 @@
+"""Source rendering of terms, literals, rules, and programs.
+
+``str()`` on the AST types already produces re-parseable text; this module
+adds program-level formatting (one rule per line, optional peer banners,
+body alignment for long rules) used by examples, transcripts, and the
+round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.datalog.ast import Literal, Rule
+
+# Rules whose single-line rendering exceeds this get one body goal per line.
+_WRAP_COLUMN = 79
+
+
+def format_literal(literal: Literal) -> str:
+    return str(literal)
+
+
+def format_rule(rule: Rule) -> str:
+    """Render one rule, wrapping long bodies one goal per line."""
+    single_line = str(rule)
+    if len(single_line) <= _WRAP_COLUMN or rule.is_fact:
+        return single_line
+
+    head_text = str(rule.head)
+    if rule.guard is not None:
+        guard_text = ", ".join(str(g) for g in rule.guard) if rule.guard else "true"
+        head_text += f" $ {guard_text}"
+    arrow = " <-"
+    if rule.rule_context is not None:
+        context_text = (
+            ", ".join(str(g) for g in rule.rule_context) if rule.rule_context else "true"
+        )
+        arrow += "{" + context_text + "}"
+    lines = [head_text + arrow]
+    if rule.signers:
+        lines.append("    signedBy [" + ", ".join(str(s) for s in rule.signers) + "]")
+    for position, goal in enumerate(rule.body):
+        terminator = "." if position == len(rule.body) - 1 else ","
+        lines.append(f"    {goal}{terminator}")
+    if not rule.body:
+        lines[-1] += " true."
+    return "\n".join(lines)
+
+
+def format_program(
+    rules: Iterable[Rule],
+    peer: Optional[str] = None,
+    group_by_predicate: bool = True,
+) -> str:
+    """Render a whole program.
+
+    With ``group_by_predicate`` a blank line separates different head
+    predicates, mirroring how the paper lays out its example programs.
+    """
+    lines: list[str] = []
+    if peer is not None:
+        lines.append(f"% {peer}:")
+    previous_indicator: Optional[tuple[str, int]] = None
+    for rule in rules:
+        indicator = rule.head.indicator
+        if (
+            group_by_predicate
+            and previous_indicator is not None
+            and indicator != previous_indicator
+        ):
+            lines.append("")
+        lines.append(format_rule(rule))
+        previous_indicator = indicator
+    return "\n".join(lines)

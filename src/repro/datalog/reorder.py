@@ -1,0 +1,116 @@
+"""Body-goal reordering: a sideways-information-passing optimisation.
+
+Rule bodies are evaluated left to right, so ordering matters operationally
+even though conjunction is commutative logically.  A body written
+
+    ``cheap(C) <- P < 1000, price(C, P).``
+
+flounders (the comparison sees unbound ``P``), and
+
+    ``path(X, Y) <- path(Z, Y), edge(X, Z).``
+
+explores blindly.  :func:`reorder_body` applies the classic greedy
+*bound-first* heuristic: repeatedly pick the schedulable goal that is
+cheapest under the current bound-variable set —
+
+1. builtins/comparisons whose variables are already bound (they prune for
+   free, so they go as early as legally possible);
+2. positive literals, preferring those with the fewest unbound variables
+   (most selective joins first), tie-broken by original position;
+3. negated goals only once ground (negation-as-failure safety).
+
+Builtins whose variables are not yet bound are *deferred*, which fixes the
+floundering example above.  The transformation never changes the set of
+answers of a positive body (conjunction commutes); it can only change
+evaluation order, cost, and — for bodies that floundered before — turn an
+error into an answer.
+
+Enable per engine with ``SLDEngine(reorder_bodies=True)`` or apply to a
+program statically with :func:`reorder_program`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.builtins import DEFAULT_REGISTRY, BuiltinRegistry
+from repro.datalog.terms import Variable
+
+
+def _is_builtin_goal(goal: Literal, registry: BuiltinRegistry) -> bool:
+    return goal.is_comparison or registry.is_builtin(goal.indicator)
+
+
+def reorder_body(
+    head: Literal,
+    body: tuple[Literal, ...],
+    registry: Optional[BuiltinRegistry] = None,
+    bound_vars: Optional[set[Variable]] = None,
+) -> tuple[Literal, ...]:
+    """Reorder ``body`` under the bound-first heuristic.
+
+    ``bound_vars`` are the variables known bound at entry.  When ``None``
+    every head variable is assumed bound — right for fully-instantiated
+    calls, optimistic for open queries; the engine passes the exact set
+    derived from the caller's adornment instead.  The output is always a
+    permutation of the input.
+    """
+    if len(body) < 2:
+        return body
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    bound: set[Variable] = (set(bound_vars) if bound_vars is not None
+                            else set(head.variables()))
+    remaining: list[tuple[int, Literal]] = list(enumerate(body))
+    ordered: list[Literal] = []
+
+    def unbound_count(goal: Literal) -> int:
+        return len(goal.variables() - bound)
+
+    while remaining:
+        # 1. Any fully-bound builtin goes first (cheap pruning).
+        chosen_index = None
+        for position, (original, goal) in enumerate(remaining):
+            if _is_builtin_goal(goal, registry) and unbound_count(goal) == 0:
+                chosen_index = position
+                break
+        # 2. Otherwise the most-bound schedulable positive literal.
+        if chosen_index is None:
+            best_score = None
+            for position, (original, goal) in enumerate(remaining):
+                if _is_builtin_goal(goal, registry):
+                    continue  # deferred until bound
+                if goal.negated and unbound_count(goal) > 0:
+                    continue  # NAF safety: wait until ground
+                score = (unbound_count(goal), original)
+                if best_score is None or score < best_score:
+                    best_score = score
+                    chosen_index = position
+        # 3. Nothing schedulable (e.g. only unbound builtins left): fall
+        #    back to original order — the engine will surface the
+        #    instantiation fault, which is the right diagnostic.
+        if chosen_index is None:
+            chosen_index = 0
+
+        original, goal = remaining.pop(chosen_index)
+        ordered.append(goal)
+        bound |= goal.variables()
+
+    return tuple(ordered)
+
+
+def reorder_rule(rule: Rule,
+                 registry: Optional[BuiltinRegistry] = None,
+                 bound_vars: Optional[set[Variable]] = None) -> Rule:
+    """The rule with its body reordered (head, guard, contexts untouched)."""
+    new_body = reorder_body(rule.head, rule.body, registry, bound_vars)
+    if new_body == rule.body:
+        return rule
+    return Rule(rule.head, new_body, rule.guard, rule.rule_context,
+                rule.signers)
+
+
+def reorder_program(rules: Iterable[Rule],
+                    registry: Optional[BuiltinRegistry] = None) -> list[Rule]:
+    """Statically reorder every rule of a program."""
+    return [reorder_rule(rule, registry) for rule in rules]

@@ -1,0 +1,280 @@
+"""Forward-chaining fixpoint evaluation (naive and semi-naive).
+
+The paper defines the meaning of a PeerTrust program as "a forward chaining
+nondeterministic fixpoint computation" (§3.2).  This module implements that
+fixpoint for one knowledge base: starting from the facts, apply every rule
+until no new facts are derivable.  The distributed version — peers applying
+rules and exchanging releasable statements — lives in
+:mod:`repro.negotiation.forward`; this module is the single-peer core and
+the reference semantics the backward chainer is tested against.
+
+Two evaluation modes:
+
+- :func:`naive_fixpoint` — re-derives everything each round; kept as the
+  baseline for the engine ablation benchmark (E7).
+- :func:`seminaive_fixpoint` — the textbook delta-driven optimisation: each
+  round only joins rule bodies against at least one *new* fact.
+
+Both support stratified negation (negated body literals are checked against
+the completed lower strata) and inline comparison builtins.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.builtins import DEFAULT_REGISTRY, BuiltinRegistry
+from repro.datalog.sld import canonical_literal, unify_literals
+from repro.datalog.stratify import stratify
+from repro.datalog.substitution import Substitution
+from repro.errors import BuiltinError, EvaluationError
+
+Indicator = tuple[str, int]
+
+
+@dataclass
+class FixpointResult:
+    """Outcome of a fixpoint computation."""
+
+    facts: set[Literal]
+    rounds: int = 0
+    derivations: int = 0
+
+    def by_predicate(self) -> dict[Indicator, set[Literal]]:
+        grouped: dict[Indicator, set[Literal]] = defaultdict(set)
+        for fact_literal in self.facts:
+            grouped[fact_literal.indicator].add(fact_literal)
+        return dict(grouped)
+
+    def holds(self, literal: Literal) -> bool:
+        """True when some derived fact unifies with ``literal``."""
+        for fact_literal in self.facts:
+            if unify_literals(literal, fact_literal, Substitution.empty()) is not None:
+                return True
+        return False
+
+    def matching(self, literal: Literal) -> list[Literal]:
+        return [
+            fact_literal
+            for fact_literal in self.facts
+            if unify_literals(literal, fact_literal, Substitution.empty()) is not None
+        ]
+
+
+class _FactStore:
+    """Derived facts indexed by predicate indicator, deduplicated by
+    canonical form so logically equal facts are stored once."""
+
+    def __init__(self) -> None:
+        self.by_indicator: dict[Indicator, list[Literal]] = defaultdict(list)
+        self._seen: set[tuple] = set()
+        self.count = 0
+
+    def add(self, literal: Literal) -> bool:
+        key = canonical_literal(literal)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self.by_indicator[literal.indicator].append(literal)
+        self.count += 1
+        return True
+
+    def matches(self, goal: Literal, subst: Substitution) -> Iterable[Substitution]:
+        for fact_literal in self.by_indicator.get(goal.indicator, ()):
+            unified = unify_literals(goal, fact_literal, subst)
+            if unified is not None:
+                yield unified
+
+    def contains_instance(self, goal: Literal, subst: Substitution) -> bool:
+        for _ in self.matches(goal, subst):
+            return True
+        return False
+
+    def all_facts(self) -> set[Literal]:
+        return {f for facts in self.by_indicator.values() for f in facts}
+
+
+def _split_program(rules: Iterable[Rule]) -> tuple[list[Rule], list[Rule]]:
+    """Separate ground facts from proper rules; non-fact content only.
+
+    Release policies (``$`` rules) describe disclosure, not truth, so they
+    are excluded from the fixpoint — matching the paper, where the fixpoint
+    ranges over content derivation and message exchange.
+    """
+    facts: list[Rule] = []
+    proper: list[Rule] = []
+    for rule in rules:
+        if rule.is_release_policy:
+            continue
+        (facts if rule.is_fact else proper).append(rule)
+    return facts, proper
+
+
+def _evaluate_body(
+    body: tuple[Literal, ...],
+    subst: Substitution,
+    store: _FactStore,
+    delta: Optional[_FactStore],
+    delta_position: Optional[int],
+    builtins: BuiltinRegistry,
+    lower_strata: Optional[_FactStore],
+) -> Iterable[Substitution]:
+    """Join the body left to right.
+
+    When ``delta``/``delta_position`` are given (semi-naive), the literal at
+    ``delta_position`` is matched against the delta store and all others
+    against the full store — the standard differential rewriting.
+    """
+
+    def recurse(position: int, current: Substitution) -> Iterable[Substitution]:
+        if position == len(body):
+            yield current
+            return
+        goal = body[position]
+        if goal.negated:
+            positive = goal.positive().apply(current)
+            if not positive.is_ground():
+                raise BuiltinError(
+                    f"negation floundered in forward chaining: not {positive}")
+            source = lower_strata if lower_strata is not None else store
+            if not source.contains_instance(positive, Substitution.empty()):
+                yield from recurse(position + 1, current)
+            return
+        if goal.is_comparison or builtins.is_builtin(goal.indicator):
+            for extended in builtins.solve(goal, current):
+                yield from recurse(position + 1, extended)
+            return
+        source = delta if (delta is not None and position == delta_position) else store
+        for extended in source.matches(goal, current):
+            yield from recurse(position + 1, extended)
+
+    yield from recurse(0, subst)
+
+
+def _run_stratum(
+    rules: list[Rule],
+    store: _FactStore,
+    builtins: BuiltinRegistry,
+    seminaive: bool,
+    lower: Optional[_FactStore],
+    max_rounds: int,
+    result: FixpointResult,
+) -> None:
+    if seminaive:
+        # Round 0 delta: everything currently in the store.
+        delta = _FactStore()
+        for fact_literal in store.all_facts():
+            delta.add(fact_literal)
+        rounds = 0
+        while delta.count and rounds < max_rounds:
+            rounds += 1
+            result.rounds += 1
+            next_delta = _FactStore()
+            for rule in rules:
+                positive_positions = [
+                    i for i, lit in enumerate(rule.body)
+                    if not lit.negated and not lit.is_comparison
+                    and not builtins.is_builtin(lit.indicator)
+                ]
+                if not positive_positions:
+                    # Body has no derivable literal: evaluate once (round 1).
+                    if rounds > 1:
+                        continue
+                    positions: list[Optional[int]] = [None]
+                else:
+                    positions = list(positive_positions)
+                for delta_position in positions:
+                    for subst in _evaluate_body(
+                        rule.body, Substitution.empty(), store, delta,
+                        delta_position, builtins, lower,
+                    ):
+                        derived = rule.head.apply(subst)
+                        if not derived.is_ground():
+                            raise EvaluationError(
+                                f"unsafe rule: derived non-ground fact {derived} "
+                                f"from {rule}")
+                        result.derivations += 1
+                        if store.add(derived):
+                            next_delta.add(derived)
+            delta = next_delta
+        if delta.count:
+            raise EvaluationError(f"fixpoint did not converge in {max_rounds} rounds")
+        return
+
+    # Naive evaluation: repeat full rounds until nothing new.
+    for _ in range(max_rounds):
+        result.rounds += 1
+        added_any = False
+        for rule in rules:
+            for subst in _evaluate_body(
+                rule.body, Substitution.empty(), store, None, None, builtins, lower,
+            ):
+                derived = rule.head.apply(subst)
+                if not derived.is_ground():
+                    raise EvaluationError(
+                        f"unsafe rule: derived non-ground fact {derived} from {rule}")
+                result.derivations += 1
+                if store.add(derived):
+                    added_any = True
+        if not added_any:
+            return
+    raise EvaluationError(f"fixpoint did not converge in {max_rounds} rounds")
+
+
+def _fixpoint(
+    rules: Iterable[Rule],
+    builtins: Optional[BuiltinRegistry],
+    seminaive: bool,
+    max_rounds: int,
+) -> FixpointResult:
+    registry = builtins if builtins is not None else DEFAULT_REGISTRY
+    fact_rules, proper_rules = _split_program(rules)
+    result = FixpointResult(facts=set())
+
+    store = _FactStore()
+    for fact_rule in fact_rules:
+        if not fact_rule.head.is_ground():
+            raise EvaluationError(f"non-ground fact: {fact_rule}")
+        store.add(fact_rule.head)
+
+    uses_negation = any(lit.negated for rule in proper_rules for lit in rule.body)
+    if uses_negation:
+        strata = stratify(fact_rules + proper_rules)
+        for layer in strata:
+            layer_rules = [r for r in proper_rules if r.head.indicator in layer]
+            # Snapshot of everything derived so far: the completed lower world
+            # that negation may consult.
+            lower = _FactStore()
+            for fact_literal in store.all_facts():
+                lower.add(fact_literal)
+            _run_stratum(layer_rules, store, registry, seminaive, lower,
+                         max_rounds, result)
+    else:
+        _run_stratum(proper_rules, store, registry, seminaive, None,
+                     max_rounds, result)
+
+    result.facts = store.all_facts()
+    return result
+
+
+def seminaive_fixpoint(
+    rules: Iterable[Rule],
+    builtins: Optional[BuiltinRegistry] = None,
+    max_rounds: int = 10_000,
+) -> FixpointResult:
+    """Evaluate a program bottom-up with the semi-naive delta optimisation."""
+    return _fixpoint(rules, builtins, seminaive=True, max_rounds=max_rounds)
+
+
+def naive_fixpoint(
+    rules: Iterable[Rule],
+    builtins: Optional[BuiltinRegistry] = None,
+    max_rounds: int = 10_000,
+) -> FixpointResult:
+    """Evaluate a program bottom-up, re-deriving everything per round.
+
+    Exists as the ablation baseline for :func:`seminaive_fixpoint` (E7)."""
+    return _fixpoint(rules, builtins, seminaive=False, max_rounds=max_rounds)

@@ -1,0 +1,472 @@
+"""SLD resolution with depth bounds, optional tabling, and proof trees.
+
+This is the local inference core each peer runs.  Three features matter to
+the negotiation runtime built on top:
+
+**Proof trees.**  Every solution carries a :class:`ProofNode` per top-level
+goal recording which clause resolved it and the sub-proofs of its body.
+The negotiation layer walks these trees to collect the signed rules that
+constitute a *certified proof* (paper §6: "a certified proof that a party is
+entitled to access a particular resource").
+
+**Dispatch hook.**  Goals can be intercepted by a caller-supplied
+``dispatch(goal, subst, depth)`` callable before normal resolution.  The
+negotiation engine uses this to route goals with authority chains to remote
+peers; the local engine stays ignorant of networking.
+
+**Tabling.**  With ``tabled=True``, repeated calls (up to variable renaming)
+consume memoised answers, and :meth:`SLDEngine.query` iterates to a fixpoint
+so left-recursive Datalog (``path(X,Y) <- path(X,Z), edge(Z,Y)``) terminates
+with complete answers — an OLDT-style evaluation.  With ``tabled=False``,
+re-entrant calls simply fail (cycle pruning), which is what the negotiation
+engine wants: its own session-level loop detection governs termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.builtins import DEFAULT_REGISTRY, BuiltinRegistry
+from repro.datalog.knowledge import KnowledgeBase
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Compound, Constant, Term, Variable
+from repro.datalog.unify import unify
+from repro.errors import BuiltinError, DepthLimitExceeded, EvaluationError
+
+# A dispatcher may return None ("not mine, resolve normally") or an iterator
+# of (substitution, proof) pairs covering the goal entirely.
+Dispatcher = Callable[[Literal, Substitution, int], Optional[Iterator[tuple[Substitution, "ProofNode"]]]]
+
+
+@dataclass(frozen=True, slots=True)
+class ProofNode:
+    """One step of a proof tree.
+
+    ``kind`` is one of ``"fact"``, ``"rule"``, ``"builtin"``, ``"negation"``,
+    ``"table"`` (answer replayed from a memo table) or ``"remote"`` (grafted
+    by the negotiation engine for sub-proofs obtained from another peer).
+    """
+
+    goal: Literal
+    kind: str
+    rule: Optional[Rule] = None
+    children: tuple["ProofNode", ...] = ()
+    peer: Optional[str] = None  # for remote nodes: who answered
+    # Opaque payload set by negotiation dispatchers on "credential" nodes:
+    # the repro.credentials.Credential backing ``rule``.
+    credential: object = None
+
+    def credentials(self) -> list[object]:
+        """All credential payloads used anywhere in this proof."""
+        collected: list[object] = []
+        stack: list[ProofNode] = [self]
+        while stack:
+            node = stack.pop()
+            if node.credential is not None:
+                collected.append(node.credential)
+            stack.extend(node.children)
+        return collected
+
+    def signed_rules(self) -> list[Rule]:
+        """All credential-bearing rules used anywhere in this proof."""
+        collected: list[Rule] = []
+        stack: list[ProofNode] = [self]
+        while stack:
+            node = stack.pop()
+            if node.rule is not None and node.rule.is_signed:
+                collected.append(node.rule)
+            stack.extend(node.children)
+        return collected
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def render(self, indent: int = 0) -> str:
+        lines = [" " * indent + f"{self.goal}  [{self.kind}"
+                 + (f" via {self.peer}" if self.peer else "") + "]"]
+        for child in self.children:
+            lines.append(child.render(indent + 2))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class Solution:
+    """A query answer: the substitution plus one proof per top-level goal."""
+
+    subst: Substitution
+    proofs: tuple[ProofNode, ...] = ()
+
+    def binding(self, name: str) -> Optional[Term]:
+        """The fully-resolved binding of the variable called ``name``."""
+        value = self.subst.lookup(Variable(name))
+        return self.subst.resolve(Variable(name)) if value is not None else None
+
+    def signed_rules(self) -> list[Rule]:
+        collected: list[Rule] = []
+        for proof in self.proofs:
+            collected.extend(proof.signed_rules())
+        return collected
+
+
+@dataclass
+class SLDStats:
+    """Engine counters, reset per :class:`SLDEngine` instance."""
+
+    resolutions: int = 0
+    builtin_calls: int = 0
+    table_hits: int = 0
+    depth_cutoffs: int = 0
+    fixpoint_passes: int = 0
+
+
+def canonical_literal(literal: Literal) -> tuple:
+    """A hashable key identifying ``literal`` up to variable renaming.
+
+    Variables are numbered in order of first occurrence, so ``p(X, Y)`` and
+    ``p(A, B)`` share a key while ``p(X, X)`` gets a different one.
+    """
+    numbering: dict[Variable, int] = {}
+
+    def canon_term(term: Term) -> tuple:
+        if isinstance(term, Variable):
+            index = numbering.setdefault(term, len(numbering))
+            return ("v", index)
+        if isinstance(term, Constant):
+            return ("c", term.value, term.quoted)
+        assert isinstance(term, Compound)
+        return ("f", term.functor, tuple(canon_term(a) for a in term.args))
+
+    return (
+        literal.predicate,
+        literal.negated,
+        tuple(canon_term(a) for a in literal.args),
+        tuple(canon_term(a) for a in literal.authority),
+    )
+
+
+def unify_literals(goal: Literal, head: Literal,
+                   subst: Substitution) -> Optional[Substitution]:
+    """Unify a goal with a clause head: predicate, arity, arguments, and
+    authority chains must all agree."""
+    if goal.predicate != head.predicate or len(goal.args) != len(head.args):
+        return None
+    if len(goal.authority) != len(head.authority):
+        return None
+    current: Optional[Substitution] = subst
+    for goal_arg, head_arg in zip(goal.args + goal.authority,
+                                  head.args + head.authority):
+        current = unify(goal_arg, head_arg, current)
+        if current is None:
+            return None
+    return current
+
+
+class SLDEngine:
+    """Backward-chaining resolution over one knowledge base.
+
+    Parameters
+    ----------
+    kb:
+        The clause store to resolve against.
+    builtins:
+        Builtin/external predicate registry; defaults to comparisons only.
+    max_depth:
+        Resolution-step bound per derivation branch.  Exceeding it prunes
+        the branch (and counts ``stats.depth_cutoffs``) unless
+        ``strict_depth`` is set, in which case it raises.
+    tabled:
+        Memoise answers per call pattern and iterate queries to fixpoint.
+    dispatch:
+        Optional interception hook (see module docstring).
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        builtins: Optional[BuiltinRegistry] = None,
+        max_depth: int = 400,
+        tabled: bool = False,
+        strict_depth: bool = False,
+        dispatch: Optional[Dispatcher] = None,
+        rule_transform: Optional[Callable[[Rule], Rule]] = None,
+        reorder_bodies: bool = False,
+    ) -> None:
+        self.kb = kb
+        self.builtins = builtins if builtins is not None else DEFAULT_REGISTRY
+        self.max_depth = max_depth
+        self.tabled = tabled
+        self.strict_depth = strict_depth
+        self.dispatch = dispatch
+        # Applied to every clause before it is renamed apart; the negotiation
+        # layer uses this to bind the pseudo-variables Requester/Self per
+        # incoming query (paper §3.1).
+        self.rule_transform = rule_transform
+        # Bound-first body reordering (repro.datalog.reorder), cached per
+        # clause object since the transformation is deterministic.
+        self.reorder_bodies = reorder_bodies
+        self._reordered: dict[tuple, Rule] = {}
+        self.stats = SLDStats()
+        self._tables: dict[tuple, list[tuple[Literal, ProofNode]]] = {}
+        self._active: set[tuple] = set()
+        self._completed: set[tuple] = set()
+        self._table_grew = False
+        self._reentered = False
+
+    # -- public API -----------------------------------------------------------
+
+    def query(
+        self,
+        goals: Sequence[Literal],
+        subst: Optional[Substitution] = None,
+        max_solutions: Optional[int] = None,
+    ) -> list[Solution]:
+        """Evaluate a conjunction and return deduplicated solutions.
+
+        With tabling enabled this runs repeated passes until the memo tables
+        stop growing, so recursive programs return complete answer sets.
+        """
+        base = subst if subst is not None else Substitution.empty()
+        goal_list = tuple(goals)
+        query_vars = set()
+        for goal in goal_list:
+            query_vars |= goal.variables()
+
+        answers: dict[tuple, Solution] = {}
+        while True:
+            self._table_grew = False
+            self._reentered = False
+            self.stats.fixpoint_passes += 1
+            for result_subst, proofs in self._solve(goal_list, base, 0):
+                key = tuple(
+                    canonical_literal(goal.apply(result_subst)) for goal in goal_list
+                )
+                if key not in answers:
+                    answers[key] = Solution(result_subst, proofs)
+                if max_solutions is not None and len(answers) >= max_solutions and not self.tabled:
+                    return list(answers.values())
+            if not (self.tabled and self._table_grew and self._reentered):
+                break
+        if self.tabled:
+            # At fixpoint every memo table is saturated for the current KB;
+            # later queries may replay them without re-deriving.
+            self._completed.update(self._tables)
+        solutions = list(answers.values())
+        if max_solutions is not None:
+            solutions = solutions[:max_solutions]
+        return solutions
+
+    def ask(self, goals: Sequence[Literal]) -> bool:
+        """True when the conjunction has at least one solution."""
+        return bool(self.query(goals, max_solutions=1))
+
+    def solve(
+        self,
+        goals: Sequence[Literal],
+        subst: Optional[Substitution] = None,
+    ) -> Iterator[Solution]:
+        """Stream solutions without deduplication or fixpoint iteration.
+
+        Use :meth:`query` for recursive programs; ``solve`` is the cheap
+        streaming interface for stratified/non-recursive goals.
+        """
+        base = subst if subst is not None else Substitution.empty()
+        for result_subst, proofs in self._solve(tuple(goals), base, 0):
+            yield Solution(result_subst, proofs)
+
+    def solve_goals(
+        self,
+        goals: Sequence[Literal],
+        subst: Substitution,
+        depth: int,
+    ) -> Iterator[tuple[Substitution, tuple[ProofNode, ...]]]:
+        """Resolve a conjunction starting at ``depth``.
+
+        Public for negotiation dispatchers that need to prove credential
+        rule bodies or reduced goals inside an ongoing resolution."""
+        yield from self._solve(tuple(goals), subst, depth)
+
+    # -- core resolution -------------------------------------------------------
+
+    def _solve(
+        self,
+        goals: tuple[Literal, ...],
+        subst: Substitution,
+        depth: int,
+    ) -> Iterator[tuple[Substitution, tuple[ProofNode, ...]]]:
+        if not goals:
+            yield subst, ()
+            return
+        if depth > self.max_depth:
+            if self.strict_depth:
+                raise DepthLimitExceeded(
+                    f"resolution exceeded max_depth={self.max_depth}")
+            self.stats.depth_cutoffs += 1
+            return
+        goal, rest = goals[0], goals[1:]
+
+        for goal_subst, proof in self._solve_one(goal, subst, depth):
+            for rest_subst, rest_proofs in self._solve(rest, goal_subst, depth):
+                yield rest_subst, (proof,) + rest_proofs
+
+    def _solve_one(
+        self,
+        goal: Literal,
+        subst: Substitution,
+        depth: int,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
+        # 1. Caller interception (negotiation engine routing).
+        if self.dispatch is not None:
+            intercepted = self.dispatch(goal, subst, depth)
+            if intercepted is not None:
+                yield from intercepted
+                return
+
+        # 2. Negation as failure.
+        if goal.negated:
+            yield from self._solve_negation(goal, subst, depth)
+            return
+
+        # 3. Builtins and external predicates.
+        if self.builtins.is_builtin(goal.indicator) and not self.kb.has_predicate(goal.indicator):
+            self.stats.builtin_calls += 1
+            for result in self.builtins.solve(goal, subst):
+                yield result, ProofNode(goal.apply(result), "builtin")
+            return
+
+        # 4. Clause resolution (with optional tabling).
+        yield from self.resolve_clauses(goal, subst, depth)
+
+    def resolve_clauses(
+        self,
+        goal: Literal,
+        subst: Substitution,
+        depth: int,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
+        """Resolve ``goal`` against the knowledge base only.
+
+        Public so negotiation dispatchers — which intercept a goal to add
+        credential- and remote-based solutions — can still fall through to
+        ordinary clause resolution for the same goal.
+        """
+        resolved_goal = goal.apply(subst)
+        key = canonical_literal(resolved_goal)
+
+        if self.tabled and key in self._completed:
+            for answer, answer_proof in self._tables.get(key, []):
+                self.stats.table_hits += 1
+                renamed = answer.rename({})
+                unified = unify_literals(goal, renamed, subst)
+                if unified is not None:
+                    yield unified, ProofNode(goal.apply(unified), "table",
+                                             children=(answer_proof,))
+            return
+
+        if key in self._active:
+            # Re-entrant call: replay table answers (tabled) or prune (untabled).
+            self._reentered = True
+            if self.tabled:
+                for answer, answer_proof in list(self._tables.get(key, [])):
+                    self.stats.table_hits += 1
+                    renamed = answer.rename({})
+                    unified = unify_literals(goal, renamed, subst)
+                    if unified is not None:
+                        yield unified, ProofNode(goal.apply(unified), "table",
+                                                 children=(answer_proof,))
+            return
+
+        self._active.add(key)
+        try:
+            table = self._tables.setdefault(key, []) if self.tabled else None
+            for rule in list(self.kb.rules_for(resolved_goal)):
+                self.stats.resolutions += 1
+                if self.reorder_bodies and len(rule.body) > 1:
+                    rule = self._reorder_for_call(rule, resolved_goal)
+                if self.rule_transform is not None:
+                    rule = self.rule_transform(rule)
+                renamed = rule.rename_apart()
+                head_subst = unify_literals(goal, renamed.head, subst)
+                if head_subst is None:
+                    continue
+                if not renamed.body:
+                    answer_subst = head_subst
+                    proof = ProofNode(goal.apply(answer_subst), "fact", rule=rule)
+                    self._record_answer(table, goal, answer_subst, proof)
+                    yield answer_subst, proof
+                    continue
+                for body_subst, body_proofs in self._solve(renamed.body, head_subst, depth + 1):
+                    proof = ProofNode(goal.apply(body_subst), "rule", rule=rule,
+                                      children=body_proofs)
+                    # Record for table consumers, but always yield: a
+                    # different call instance of the same pattern may have
+                    # recorded this answer already, and suppressing the
+                    # yield here would starve *this* caller.
+                    self._record_answer(table, goal, body_subst, proof)
+                    yield body_subst, proof
+        finally:
+            self._active.discard(key)
+
+    def _reorder_for_call(self, rule: Rule, resolved_goal: Literal) -> Rule:
+        """Body reordering specialised to the caller's adornment: a head
+        variable counts as bound only when the corresponding argument of the
+        actual call is ground.  Cached per (clause, adornment)."""
+        from repro.datalog.terms import is_ground, variables_in
+
+        adornment = tuple(
+            is_ground(arg)
+            for arg in (resolved_goal.args + resolved_goal.authority))
+        key = (id(rule), adornment)
+        cached = self._reordered.get(key)
+        if cached is None:
+            from repro.datalog.reorder import reorder_rule
+
+            head_parts = rule.head.args + rule.head.authority
+            bound: set[Variable] = set()
+            for part, part_bound in zip(head_parts, adornment):
+                if part_bound:
+                    bound |= variables_in(part)
+            cached = self._reordered[key] = reorder_rule(
+                rule, self.builtins, bound_vars=bound)
+        return cached
+
+    def _record_answer(
+        self,
+        table: Optional[list[tuple[Literal, ProofNode]]],
+        goal: Literal,
+        subst: Substitution,
+        proof: ProofNode,
+    ) -> bool:
+        """Insert an answer into the memo table unless already present;
+        returns whether the table grew."""
+        if table is None:
+            return False
+        answer = goal.apply(subst)
+        answer_key = canonical_literal(answer)
+        for existing, _ in table:
+            if canonical_literal(existing) == answer_key:
+                return False
+        table.append((answer, proof))
+        self._table_grew = True
+        return True
+
+    def _solve_negation(
+        self,
+        goal: Literal,
+        subst: Substitution,
+        depth: int,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
+        positive = goal.positive().apply(subst)
+        if not positive.is_ground():
+            raise BuiltinError(
+                f"negation floundered: 'not {positive}' is not ground at call time")
+        for _ in self._solve((positive,), subst, depth + 1):
+            return  # one success refutes the negation
+        yield subst, ProofNode(goal.apply(subst), "negation")
+
+    # -- maintenance -------------------------------------------------------------
+
+    def clear_tables(self) -> None:
+        """Drop memoised answers (call after mutating the KB)."""
+        self._tables.clear()
+        self._completed.clear()

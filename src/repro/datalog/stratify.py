@@ -1,0 +1,174 @@
+"""Predicate dependency analysis and stratification.
+
+PeerTrust's core language is definite Horn clauses; negation as failure is
+the natural extension the paper mentions (§3.1).  The forward-chaining
+evaluator supports negation only for *stratified* programs — programs where
+no predicate depends on its own negation through a cycle — which is the
+standard Datalog¬ condition.
+
+:func:`stratify` returns the predicates grouped into evaluation strata
+(lowest first); :class:`DependencyGraph` exposes the raw positive/negative
+edges for tooling (e.g. detecting which policies are recursive).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.datalog.ast import Rule
+from repro.errors import StratificationError
+
+Indicator = tuple[str, int]
+
+
+class DependencyGraph:
+    """The predicate dependency graph of a program.
+
+    There is an edge ``head → body`` for every rule; the edge is *negative*
+    when the body literal is negated.  Comparison builtins are excluded —
+    they are evaluated inline and never defined by rules.
+    """
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.positive: dict[Indicator, set[Indicator]] = defaultdict(set)
+        self.negative: dict[Indicator, set[Indicator]] = defaultdict(set)
+        self.nodes: set[Indicator] = set()
+        for rule in rules:
+            head = rule.head.indicator
+            self.nodes.add(head)
+            for literal in rule.body:
+                if literal.is_comparison:
+                    continue
+                body = literal.positive().indicator
+                self.nodes.add(body)
+                if literal.negated:
+                    self.negative[head].add(body)
+                else:
+                    self.positive[head].add(body)
+
+    def successors(self, node: Indicator) -> set[Indicator]:
+        return self.positive.get(node, set()) | self.negative.get(node, set())
+
+    def strongly_connected_components(self) -> list[set[Indicator]]:
+        """Tarjan's algorithm, iterative to survive deep programs."""
+        index_counter = 0
+        indices: dict[Indicator, int] = {}
+        lowlinks: dict[Indicator, int] = {}
+        on_stack: set[Indicator] = set()
+        stack: list[Indicator] = []
+        components: list[set[Indicator]] = []
+
+        for root in sorted(self.nodes):
+            if root in indices:
+                continue
+            work: list[tuple[Indicator, list[Indicator], int]] = [
+                (root, sorted(self.successors(root)), 0)
+            ]
+            indices[root] = lowlinks[root] = index_counter
+            index_counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors, position = work.pop()
+                advanced = False
+                while position < len(successors):
+                    successor = successors[position]
+                    position += 1
+                    if successor not in indices:
+                        work.append((node, successors, position))
+                        indices[successor] = lowlinks[successor] = index_counter
+                        index_counter += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append((successor, sorted(self.successors(successor)), 0))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indices[successor])
+                if advanced:
+                    continue
+                if lowlinks[node] == indices[node]:
+                    component: set[Indicator] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+        return components
+
+    def is_recursive(self, node: Indicator) -> bool:
+        """True when ``node`` can reach itself through dependencies."""
+        seen: set[Indicator] = set()
+        frontier = list(self.successors(node))
+        while frontier:
+            current = frontier.pop()
+            if current == node:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.successors(current))
+        return False
+
+
+def stratify(rules: Iterable[Rule]) -> list[set[Indicator]]:
+    """Partition a program's predicates into strata.
+
+    Returns strata lowest-first; every predicate's negative dependencies lie
+    in strictly lower strata.  Raises :class:`StratificationError` when a
+    negation occurs inside a dependency cycle.
+    """
+    rule_list = list(rules)
+    graph = DependencyGraph(rule_list)
+    components = graph.strongly_connected_components()
+    component_of: dict[Indicator, int] = {}
+    for component_index, component in enumerate(components):
+        for node in component:
+            component_of[node] = component_index
+
+    # A negative edge inside one SCC means unstratifiable.
+    for head, bodies in graph.negative.items():
+        for body in bodies:
+            if component_of[head] == component_of[body]:
+                raise StratificationError(
+                    f"predicate {head} depends negatively on {body} within a cycle")
+
+    # Longest-path layering over the condensation: a predicate's stratum is
+    # 1 + max over negative deps, and >= positive deps' strata.
+    stratum: dict[int, int] = {index: 0 for index in range(len(components))}
+    changed = True
+    while changed:
+        changed = False
+        for head in graph.nodes:
+            head_component = component_of[head]
+            for body in graph.positive.get(head, ()):  # same stratum ok
+                required = stratum[component_of[body]]
+                if stratum[head_component] < required:
+                    stratum[head_component] = required
+                    changed = True
+            for body in graph.negative.get(head, ()):
+                required = stratum[component_of[body]] + 1
+                if stratum[head_component] < required:
+                    stratum[head_component] = required
+                    changed = True
+
+    highest = max(stratum.values(), default=0)
+    layers: list[set[Indicator]] = [set() for _ in range(highest + 1)]
+    for node in graph.nodes:
+        layers[stratum[component_of[node]]].add(node)
+    return [layer for layer in layers if layer]
+
+
+def is_stratified(rules: Iterable[Rule]) -> bool:
+    """Convenience predicate wrapping :func:`stratify`."""
+    try:
+        stratify(rules)
+        return True
+    except StratificationError:
+        return False

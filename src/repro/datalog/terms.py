@@ -1,0 +1,214 @@
+"""Term representation for the PeerTrust logic engine.
+
+Terms follow the usual first-order syntax:
+
+- :class:`Variable` — an unbound logic variable (``X``, ``Course``,
+  ``Requester``);
+- :class:`Constant` — an atomic value: a lowercase atom (``cs101``), a quoted
+  string (``"UIUC"``), a number (``2000``), or a boolean;
+- :class:`Compound` — a functor applied to argument terms
+  (``price(cs411, 1000)`` used as a term, or a nested authority sequence).
+
+All terms are immutable and hashable so they can live in sets, dictionaries,
+and tabling memo tables.  Equality is structural.
+
+Constants distinguish *atoms* from *strings* only for pretty-printing: the
+paper writes peer names as quoted strings (``"E-Learn"``) and resource
+identifiers as atoms (``cs101``), and round-tripping programs through the
+parser should preserve the author's spelling.  For unification and equality
+the two are distinct constants (``atom("x") != string("x")``), mirroring
+Prolog's distinction between ``x`` and ``"x"``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+NumberValue = Union[int, float]
+ConstantValue = Union[str, int, float, bool]
+
+
+class Term:
+    """Abstract base class for all terms.
+
+    Concrete subclasses are :class:`Variable`, :class:`Constant`, and
+    :class:`Compound`.  The base class exists so type annotations and
+    ``isinstance`` checks have a single root.
+    """
+
+    __slots__ = ()
+
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    def is_compound(self) -> bool:
+        return isinstance(self, Compound)
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A logic variable, identified by name.
+
+    Two variables with the same name are the same variable *within one
+    clause*; clause renaming (see :func:`rename_term`) produces fresh names
+    before resolution so distinct clause instances never collide.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(Term):
+    """An atomic constant.
+
+    ``value`` is the underlying Python value; ``quoted`` records whether the
+    constant was written as a quoted string.  Atoms and strings never unify
+    with each other even when their text coincides.
+    """
+
+    value: ConstantValue
+    quoted: bool = False
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r}, quoted={self.quoted})"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str) and self.quoted:
+            return '"' + self.value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+        return str(self.value)
+
+    @property
+    def is_number(self) -> bool:
+        return isinstance(self.value, (int, float)) and not isinstance(self.value, bool)
+
+
+@dataclass(frozen=True, slots=True)
+class Compound(Term):
+    """A functor applied to one or more argument terms."""
+
+    functor: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        return f"Compound({self.functor!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.functor}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def atom(name: str) -> Constant:
+    """Build an unquoted atom constant, e.g. ``atom("cs101")``."""
+    return Constant(name, quoted=False)
+
+
+def string(text: str) -> Constant:
+    """Build a quoted string constant, e.g. ``string("UIUC")``."""
+    return Constant(text, quoted=True)
+
+
+def number(value: NumberValue) -> Constant:
+    """Build a numeric constant."""
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("use atom('true')/atom('false') for booleans")
+    return Constant(value)
+
+
+def var(name: str) -> Variable:
+    """Build a variable, e.g. ``var("X")``."""
+    return Variable(name)
+
+
+def struct(functor: str, *args: Term) -> Compound:
+    """Build a compound term, e.g. ``struct("price", atom("cs411"), number(1000))``."""
+    return Compound(functor, tuple(args))
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and all of its subterms in pre-order."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Compound):
+            stack.extend(reversed(current.args))
+
+
+def variables_in(term: Term) -> set[Variable]:
+    """The set of variables occurring anywhere in ``term``."""
+    return {t for t in subterms(term) if isinstance(t, Variable)}
+
+
+def is_ground(term: Term) -> bool:
+    """True when ``term`` contains no variables."""
+    return not any(isinstance(t, Variable) for t in subterms(term))
+
+
+def term_size(term: Term) -> int:
+    """Number of nodes in the term tree (used for depth/size bounds)."""
+    return sum(1 for _ in subterms(term))
+
+
+def term_depth(term: Term) -> int:
+    """Height of the term tree; constants and variables have depth 1."""
+    if isinstance(term, Compound):
+        if not term.args:
+            return 1
+        return 1 + max(term_depth(a) for a in term.args)
+    return 1
+
+
+_fresh_counter = itertools.count(1)
+
+
+def fresh_variable(base: str = "_G") -> Variable:
+    """Return a globally fresh variable.
+
+    The counter is process-wide; freshness only needs to hold within one
+    engine run, which this guarantees.
+    """
+    return Variable(f"{base}{next(_fresh_counter)}")
+
+
+def rename_term(term: Term, mapping: dict[Variable, Variable]) -> Term:
+    """Rename the variables of ``term`` using (and extending) ``mapping``.
+
+    Every variable not yet in ``mapping`` is assigned a fresh name.  Used to
+    rename clauses apart before resolution.
+    """
+    if isinstance(term, Variable):
+        renamed = mapping.get(term)
+        if renamed is None:
+            renamed = fresh_variable(f"_{term.name}_")
+            mapping[term] = renamed
+        return renamed
+    if isinstance(term, Compound):
+        return Compound(term.functor, tuple(rename_term(a, mapping) for a in term.args))
+    return term

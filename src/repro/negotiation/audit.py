@@ -1,0 +1,68 @@
+"""Audit trails.
+
+§3.1: the access mechanism "can also implement other security-related
+measures, such as creating an audit trail for the enrollment."  An
+:class:`AuditTrail` is a peer-lifetime, append-only record of
+negotiation-relevant events — grants, denials, disclosures, token issuance
+— queryable by peer, kind, and session.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class AuditRecord:
+    sequence: int
+    session_id: str
+    kind: str            # granted / denied / disclosed / token-issued / ...
+    subject: str         # whom the event concerns (requester, holder, ...)
+    detail: str
+    timestamp: float     # simulated clock (transport simulated_ms at the time)
+
+    def __str__(self) -> str:
+        return (f"#{self.sequence} [{self.session_id}] {self.kind} "
+                f"subject={self.subject} {self.detail}")
+
+
+class AuditTrail:
+    """Append-only event log, one per peer."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._records: list[AuditRecord] = []
+        self._sequence = itertools.count(1)
+
+    def record(self, session_id: str, kind: str, subject: str,
+               detail: str = "", timestamp: float = 0.0) -> AuditRecord:
+        entry = AuditRecord(next(self._sequence), session_id, kind,
+                            subject, detail, timestamp)
+        self._records.append(entry)
+        return entry
+
+    def records(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+        session_id: Optional[str] = None,
+    ) -> Iterator[AuditRecord]:
+        for entry in self._records:
+            if kind is not None and entry.kind != kind:
+                continue
+            if subject is not None and entry.subject != subject:
+                continue
+            if session_id is not None and entry.session_id != session_id:
+                continue
+            yield entry
+
+    def count(self, kind: Optional[str] = None) -> int:
+        return sum(1 for _ in self.records(kind=kind))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"AuditTrail({self.owner!r}, {len(self)} records)"

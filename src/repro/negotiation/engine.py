@@ -1,0 +1,381 @@
+"""The distributed evaluation core: authority-chain dispatch.
+
+This module implements the operational semantics of ``@`` (DESIGN.md,
+"Operational semantics implemented").  An :class:`EvalContext` wraps one
+peer's SLD engine with a dispatcher that intercepts goals carrying
+authority chains and resolves them through, in order:
+
+1. **credentials** — signed rules whose signature vouches for the goal's
+   innermost authority (the paper's ``signedBy [A] ⇒ @ A`` axiom, §3.2);
+2. **local clauses** — the peer's own rules with ``@``-annotated heads
+   (delegation hints such as ``student(X) @ U <- student(X) @ U @ X``);
+3. **authority reduction** — when the outermost authority is the peer
+   itself (``@ Self``) or a peer whose in-session disclosures we are
+   checking (evidence mode), drop the layer and recurse;
+4. **remote evaluation** — send the reduced goal to the outermost
+   authority's peer and absorb its answer: verify disclosed credentials,
+   then *re-derive the goal locally from signed evidence* (the certified
+   proof), or — only if the asking peer opted out of certification —
+   accept the answer as a bare assertion.
+
+The same class, differently parameterised, is also the *evidence evaluator*
+(no KB, no network) used to independently verify certified proofs, and the
+offline evaluator used by the eager strategy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+from repro.credentials.credential import Credential, verify_credential
+from repro.credentials.store import CredentialStore
+from repro.datalog.ast import Literal
+from repro.datalog.knowledge import KnowledgeBase
+from repro.datalog.sld import (
+    ProofNode,
+    SLDEngine,
+    Solution,
+    canonical_literal,
+    unify_literals,
+)
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Constant, Variable
+from repro.errors import CredentialError, KeyError_, NetworkError, SignatureError
+from repro.net.message import QueryMessage
+from repro.negotiation.session import Session
+from repro.policy.pseudovars import binder, bind_pseudovars_in_literal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.negotiation.peer import Peer
+
+_EMPTY_KB = KnowledgeBase()
+
+
+class EvalContext:
+    """One peer's view of one evaluation task within a session.
+
+    Parameters
+    ----------
+    peer:
+        The evaluating peer (supplies builtins, keys, keyring, transport).
+    session:
+        The negotiation session (loop detection, overlays, transcript).
+    requester:
+        The peer on whose behalf this evaluation runs; bound to the
+        ``Requester`` pseudo-variable in every rule considered.
+    kb:
+        Clause store to resolve against; ``None`` gives the credentials-only
+        *evidence mode* used for certified-proof checking.
+    stores:
+        Credential stores consulted by the ``signedBy`` axiom, in priority
+        order (typically: the peer's wallet, then the session overlay).
+    allow_remote:
+        Whether goals may be routed to other peers over the transport.
+    drop_peers:
+        Peers whose outermost evaluation-directive layer may be consumed
+        without a network call — the answering peer in evidence mode, the
+        counterpart in the eager strategy's offline checks.
+    """
+
+    def __init__(
+        self,
+        peer: "Peer",
+        session: Session,
+        requester: str,
+        kb: Optional[KnowledgeBase],
+        stores: Sequence[CredentialStore],
+        allow_remote: bool = True,
+        drop_peers: frozenset[str] = frozenset(),
+        max_depth: Optional[int] = None,
+    ) -> None:
+        self.peer = peer
+        self.session = session
+        self.requester = requester
+        self.stores = list(stores)
+        self.allow_remote = allow_remote
+        self.drop_peers = drop_peers
+        self.engine = SLDEngine(
+            kb if kb is not None else _EMPTY_KB,
+            builtins=peer.builtins,
+            max_depth=max_depth if max_depth is not None else peer.max_depth,
+            tabled=False,
+            rule_transform=binder(requester, peer.name),
+        )
+        self.engine.dispatch = self._dispatch
+
+    # -- public querying --------------------------------------------------------
+
+    def query_goal(self, goal: Literal, max_solutions: Optional[int] = None) -> list[Solution]:
+        bound = bind_pseudovars_in_literal(goal, self.requester, self.peer.name)
+        return self.engine.query([bound], max_solutions=max_solutions)
+
+    def prove(self, goals: Sequence[Literal]) -> Optional[Solution]:
+        """First solution of a conjunction, or ``None``."""
+        bound = [
+            bind_pseudovars_in_literal(g, self.requester, self.peer.name)
+            for g in goals
+        ]
+        solutions = self.engine.query(bound, max_solutions=1)
+        return solutions[0] if solutions else None
+
+    def derive_evidence(self, goal: Literal) -> Optional[ProofNode]:
+        """Evidence-mode entry: one proof of ``goal``, or ``None``."""
+        solutions = self.query_goal(goal, max_solutions=1)
+        if not solutions:
+            return None
+        return solutions[0].proofs[0]
+
+    # -- the dispatcher ------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        goal: Literal,
+        subst: Substitution,
+        depth: int,
+    ) -> Optional[Iterator[tuple[Substitution, ProofNode]]]:
+        if goal.negated or not goal.authority:
+            return None  # plain goals: ordinary engine processing
+        return self._chain_solutions(goal, subst, depth)
+
+    def _chain_solutions(
+        self,
+        goal: Literal,
+        subst: Substitution,
+        depth: int,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
+        # 1. The signedBy axiom over every store.
+        yield from self._credential_solutions(goal, subst, depth)
+
+        # 2. The peer's own clauses with @-annotated heads.
+        yield from self.engine.resolve_clauses(goal, subst, depth)
+
+        # 3/4. Authority-layer consumption: reduction or remote evaluation.
+        resolved = goal.apply(subst)
+        outer = resolved.authority[-1]
+        if isinstance(outer, Variable):
+            # Unroutable: the evaluation directive is unbound.  The paper
+            # instantiates these from authority/broker databases *before*
+            # this point; an unbound directive here simply fails.
+            self.session.counters["unbound_authority"] += 1
+            return
+        if not isinstance(outer, Constant) or not isinstance(outer.value, str):
+            return
+        target = outer.value
+        reduced = resolved.drop_outer_authority()
+
+        if target == self.peer.name or target in self.drop_peers:
+            for result_subst, proofs in self.engine.solve_goals((reduced,), subst, depth + 1):
+                yield result_subst, ProofNode(
+                    resolved.apply(result_subst), "authority-drop",
+                    peer=target, children=proofs)
+            return
+
+        if self.allow_remote:
+            # Before asking `target` over the network, check whether signed
+            # evidence already in hand proves the reduced statement — "target
+            # says φ" is subsumed by a verifiable proof of φ itself.  This
+            # prunes the repeated counter-queries that otherwise occur every
+            # time the same release guard fires.
+            found_local_evidence = False
+            for result_subst, proof in self._evidence_drop(resolved, reduced, subst, target):
+                found_local_evidence = True
+                yield result_subst, proof
+            if found_local_evidence:
+                return
+            yield from self._remote_solutions(goal, resolved, reduced, subst, target, depth)
+
+    def _evidence_drop(
+        self,
+        resolved: Literal,
+        reduced: Literal,
+        subst: Substitution,
+        target: str,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
+        evidence = EvalContext(
+            peer=self.peer,
+            session=self.session,
+            requester=self.requester,
+            kb=None,
+            stores=self.stores,
+            allow_remote=False,
+        )
+        for result_subst, proofs in evidence.engine.solve_goals((reduced,), subst, 0):
+            yield result_subst, ProofNode(
+                resolved.apply(result_subst), "evidence-drop",
+                peer=target, children=proofs)
+
+    # -- credentials ------------------------------------------------------------------
+
+    def _credential_solutions(
+        self,
+        goal: Literal,
+        subst: Substitution,
+        depth: int,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
+        seen_serials: set[str] = set()
+        for store in self.stores:
+            for credential in store.candidates(goal.indicator):
+                if credential.serial in seen_serials:
+                    continue
+                seen_serials.add(credential.serial)
+                yield from self._one_credential(goal, subst, depth, credential)
+
+    def _one_credential(
+        self,
+        goal: Literal,
+        subst: Substitution,
+        depth: int,
+        credential: Credential,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
+        try:
+            issuer = credential.primary_issuer
+        except CredentialError:
+            return
+        renamed = credential.rule.rename_apart()
+        head = renamed.head
+        if not head.authority:
+            # Bare-head credential (e.g. visaCard("IBM") signedBy ["VISA"]):
+            # the signature makes it an @-issuer statement.
+            head = Literal(head.predicate, head.args,
+                           (Constant(issuer, quoted=True),))
+        innermost = head.authority[0]
+        if not (isinstance(innermost, Constant) and innermost.value == issuer):
+            # The signature cannot vouch for a statement attributed to a
+            # different authority (Alice cannot self-certify @ "UIUC").
+            return
+        head_subst = unify_literals(goal, head, subst)
+        if head_subst is None:
+            return
+        if not renamed.body:
+            yield head_subst, ProofNode(goal.apply(head_subst), "credential",
+                                        rule=credential.rule, credential=credential)
+            return
+        for body_subst, body_proofs in self.engine.solve_goals(
+                renamed.body, head_subst, depth + 1):
+            yield body_subst, ProofNode(goal.apply(body_subst), "credential",
+                                        rule=credential.rule,
+                                        children=body_proofs,
+                                        credential=credential)
+
+    # -- remote evaluation ----------------------------------------------------------------
+
+    def _remote_solutions(
+        self,
+        goal: Literal,
+        resolved: Literal,
+        reduced: Literal,
+        subst: Substitution,
+        target: str,
+        depth: int,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
+        transport = getattr(self.peer, "transport", None)
+        if transport is None or not transport.registry.knows(target):
+            self.session.counters["unknown_targets"] += 1
+            return
+        if not self.session.nesting_available():
+            self.session.counters["nesting_exhausted"] += 1
+            return
+        goal_key = canonical_literal(reduced)
+        if not self.session.enter_remote(self.peer.name, target, goal_key):
+            return
+        try:
+            self.session.log("query", self.peer.name, target, str(reduced))
+            try:
+                reply = transport.request(QueryMessage(
+                    sender=self.peer.name,
+                    receiver=target,
+                    session_id=self.session.id,
+                    goal=reduced,
+                    depth=depth,
+                ))
+            except NetworkError:
+                self.session.counters["network_failures"] += 1
+                return
+        finally:
+            self.session.exit_remote(self.peer.name, target, goal_key)
+
+        items = getattr(reply, "items", ())
+        if not items:
+            self.session.log("failure", target, self.peer.name, str(reduced))
+            return
+        for item in items:
+            yield from self._absorb_answer_item(goal, reduced, subst, target, item)
+
+    def _absorb_answer_item(
+        self,
+        goal: Literal,
+        reduced: Literal,
+        subst: Substitution,
+        target: str,
+        item,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
+        overlay = self.session.received_for(self.peer.name)
+        disclosed = list(item.credentials)
+        if item.answer_credential is not None:
+            disclosed.append(item.answer_credential)
+        for credential in disclosed:
+            try:
+                verify_credential(credential, self.peer.keyring, self.peer.crls,
+                                  now=getattr(self.peer, "clock", None))
+            except (CredentialError, SignatureError, KeyError_) as error:
+                self.session.counters["bad_credentials"] += 1
+                self.session.log("reject-credential", self.peer.name, target,
+                                 f"{credential.rule.head}: {error}")
+                return
+        for credential in disclosed:
+            overlay.add(credential)
+            self.session.mark_holder(credential.serial, self.peer.name)
+            self.session.mark_holder(credential.serial, target)
+        if disclosed:
+            self.session.log("receive", self.peer.name, target,
+                             f"{len(disclosed)} credential(s)")
+
+        answered = item.answered_literal
+        if answered is None:
+            return
+        answer_subst = unify_literals(reduced, answered.rename({}), subst)
+        if answer_subst is None:
+            self.session.counters["mismatched_answers"] += 1
+            return
+
+        if not self.peer.require_certified_answers:
+            yield answer_subst, ProofNode(goal.apply(answer_subst), "asserted",
+                                          peer=target)
+            return
+
+        evidence = EvalContext(
+            peer=self.peer,
+            session=self.session,
+            requester=self.requester,
+            kb=None,
+            stores=[self.peer.credentials, overlay],
+            allow_remote=False,
+            drop_peers=frozenset({target}),
+        )
+        proof = evidence.derive_evidence(goal.apply(answer_subst))
+        if proof is None:
+            self.session.counters["uncertified_answers"] += 1
+            self.session.log("uncertified", self.peer.name, target,
+                             str(goal.apply(answer_subst)))
+            return
+        yield answer_subst, ProofNode(goal.apply(answer_subst), "remote",
+                                      peer=target, children=(proof,))
+
+
+def evidence_context(
+    peer: "Peer",
+    session: Session,
+    vouching_peer: str,
+    extra_stores: Sequence[CredentialStore] = (),
+) -> EvalContext:
+    """A credentials-only context for independent proof verification."""
+    stores = [peer.credentials, session.received_for(peer.name), *extra_stores]
+    return EvalContext(
+        peer=peer,
+        session=session,
+        requester=vouching_peer,
+        kb=None,
+        stores=stores,
+        allow_remote=False,
+        drop_peers=frozenset({vouching_peer}),
+    )

@@ -1,0 +1,297 @@
+"""The paper's declarative semantics: a distributed forward-chaining fixpoint.
+
+§3.2: "The meaning of a PeerTrust program is determined by a forward
+chaining nondeterministic fixpoint computation process in which at each
+step, a non-deterministically chosen peer either applies one of its rules,
+sends a literal or rule in its knowledge base with context 'Requester = P'
+to peer P (after removing its context and digitally signing it), or
+receives a context-free signed rule or literal from another party."
+
+:func:`distributed_fixpoint` computes the *saturation* of that process
+deterministically (round-robin over peers until quiescence; the fixpoint is
+confluent, so scheduling order does not affect the final state).  It serves
+as the reference the goal-directed negotiation engine is validated against:
+
+- **soundness** — whatever a parsimonious/eager negotiation grants must be
+  derivable in the saturation;
+- **completeness bound** — a goal underivable in the saturation can never
+  be granted by any strategy.
+
+Within each peer the fixpoint uses:
+
+- content rules and release-policy grants (``$`` rules instantiated per
+  potential requester);
+- credentials materialised through the ``signedBy [A] ⇒ @ A`` axiom;
+- statements received from other peers: forwarded credentials verify and
+  enter directly; bare assertions from peer P enter as ``fact @ P``.
+
+Release policies gate what is *sent*: a derived fact matching a release
+policy head is pushed to every peer for which the guard holds.  Dropping an
+outer authority layer is permitted when the reduced statement is itself
+established ("a proof of φ subsumes 'Q says φ'"), matching the backward
+engine's evidence rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.builtins import BuiltinRegistry
+from repro.datalog.sld import canonical_literal, unify_literals
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Constant
+from repro.errors import BuiltinError, EvaluationError
+from repro.negotiation.peer import Peer
+from repro.policy.pseudovars import bind_pseudovars
+from repro.world import World
+
+
+@dataclass
+class PeerState:
+    """One peer's accumulating view during the fixpoint."""
+
+    peer: Peer
+    facts: dict[tuple, Literal] = field(default_factory=dict)
+    received_serials: set[str] = field(default_factory=set)
+
+    def add(self, literal: Literal) -> bool:
+        key = canonical_literal(literal)
+        if key in self.facts:
+            return False
+        self.facts[key] = literal
+        return True
+
+    def holds(self, goal: Literal, subst: Substitution) -> Iterable[Substitution]:
+        """Substitutions making ``goal`` hold, allowing outer-layer drops.
+
+        Stored facts may be non-ground (universally quantified conclusions
+        such as the paper's freebieEligible, whose Course head variable is
+        unconstrained by the body); they are renamed apart before
+        unification to avoid variable capture."""
+        candidates = [goal]
+        reduced = goal
+        while reduced.authority:
+            reduced = reduced.drop_outer_authority()
+            candidates.append(reduced)
+        for candidate in candidates:
+            for literal in list(self.facts.values()):
+                if literal.variables():
+                    literal = literal.rename({})
+                unified = unify_literals(candidate, literal, subst)
+                if unified is not None:
+                    yield unified
+
+
+@dataclass
+class FixpointState:
+    """The global saturation result."""
+
+    states: dict[str, PeerState]
+    rounds: int = 0
+    sends: int = 0
+
+    def derivable(self, peer_name: str, goal: Literal) -> bool:
+        state = self.states[peer_name]
+        for _ in state.holds(goal, Substitution.empty()):
+            return True
+        return False
+
+    def facts_of(self, peer_name: str) -> list[Literal]:
+        return list(self.states[peer_name].facts.values())
+
+
+def _credential_rules(peer: Peer) -> list[Rule]:
+    """Materialise the signedBy axiom: credential rules with their heads
+    normalised to carry the issuer authority."""
+    rules = []
+    for credential in peer.credentials.credentials():
+        rule = credential.rule
+        head = rule.head
+        issuers = [t.value for t in rule.signers
+                   if isinstance(t, Constant) and isinstance(t.value, str)]
+        if not issuers:
+            continue
+        if not head.authority:
+            head = Literal(head.predicate, head.args,
+                           (Constant(issuers[0], quoted=True),))
+        elif not (isinstance(head.authority[0], Constant)
+                  and head.authority[0].value == issuers[0]):
+            continue  # signature cannot vouch for a foreign authority
+        rules.append(Rule(head, rule.body))
+    return rules
+
+
+def _apply_rules_once(
+    state: PeerState,
+    rules: list[Rule],
+    builtins: BuiltinRegistry,
+) -> bool:
+    """One naive pass of rule application over the peer's fact store."""
+    changed = False
+    for rule in rules:
+        for subst in _join_body(state, rule.body, Substitution.empty(), builtins):
+            derived = rule.head.apply(subst)
+            # Non-ground conclusions are universally quantified facts; they
+            # are stored as-is (alpha-deduplicated by the canonical key).
+            if state.add(derived):
+                changed = True
+    return changed
+
+
+def _join_body(
+    state: PeerState,
+    body: tuple[Literal, ...],
+    subst: Substitution,
+    builtins: BuiltinRegistry,
+) -> Iterable[Substitution]:
+    if not body:
+        yield subst
+        return
+    goal, rest = body[0], body[1:]
+    if goal.negated:
+        positive = goal.positive().apply(subst)
+        if not positive.is_ground():
+            raise EvaluationError(
+                f"negation floundered in distributed fixpoint: not {positive}")
+        for _ in state.holds(positive, Substitution.empty()):
+            return
+        yield from _join_body(state, rest, subst, builtins)
+        return
+    if goal.is_comparison or builtins.is_builtin(goal.indicator):
+        try:
+            for extended in builtins.solve(goal, subst):
+                yield from _join_body(state, rest, extended, builtins)
+        except BuiltinError:
+            return
+        return
+    for extended in state.holds(goal, subst):
+        yield from _join_body(state, rest, extended, builtins)
+
+
+def _rule_identical(left: Rule, right: Rule) -> bool:
+    from repro.datalog.knowledge import _rule_variant
+
+    return _rule_variant(left, right)
+
+
+def _release_allows(state: PeerState, peer: Peer, statement: Literal,
+                    receiver_name: str) -> bool:
+    """Does some release policy of ``peer`` let ``statement`` go to
+    ``receiver_name``, with the guard provable from the peer's current
+    saturated store?  (Default-deny when no policy matches.)"""
+    for policy in peer.kb.release_policies():
+        bound = bind_pseudovars(policy, receiver_name, peer.name)
+        renamed = bound.rename_apart()
+        head_subst = unify_literals(statement, renamed.head, Substitution.empty())
+        if head_subst is None:
+            continue
+        assert renamed.guard is not None
+        released_key = canonical_literal(statement)
+        goals = tuple(
+            g for g in (renamed.guard + renamed.body)
+            if canonical_literal(g.apply(head_subst)) != released_key)
+        for _ in _join_body(state, goals, head_subst, peer.builtins):
+            return True
+    return False
+
+
+def distributed_fixpoint(
+    world: World,
+    peers: Optional[Iterable[str]] = None,
+    max_rounds: int = 200,
+) -> FixpointState:
+    """Saturate the whole world's trust state.
+
+    Round-robin until a full round changes nothing: each peer (1) closes
+    its local store under its rules, release-policy grants, and credential
+    rules; (2) pushes every releasable fact to every peer whose guard it
+    can prove.
+    """
+    names = list(peers) if peers is not None else sorted(world.peers)
+    states = {name: PeerState(world.peers[name]) for name in names}
+    result = FixpointState(states)
+
+    # Seed: local ground facts and credential heads with empty bodies enter
+    # through rule application (facts are rules with empty bodies).
+    per_peer_rules: dict[str, list[Rule]] = {}
+    per_peer_grants: dict[str, list[Rule]] = {}
+    for name in names:
+        peer = states[name].peer
+        content = [r for r in peer.kb.content_rules()]
+        content += _credential_rules(peer)
+        per_peer_rules[name] = content
+        # `$` policies act as grant rules, instantiated per possible requester.
+        grants = []
+        for policy in peer.kb.release_policies():
+            for requester in names:
+                if requester == name:
+                    continue
+                bound = bind_pseudovars(policy, requester, name)
+                assert bound.guard is not None
+                grants.append(Rule(bound.head, bound.guard + bound.body))
+        per_peer_grants[name] = grants
+
+    for round_number in range(max_rounds):
+        result.rounds = round_number + 1
+        changed = False
+
+        # 1. Local closure (bounded: function symbols can diverge).
+        for name in names:
+            state = states[name]
+            rules = per_peer_rules[name] + per_peer_grants[name]
+            for _ in range(max_rounds):
+                if not _apply_rules_once(state, rules, state.peer.builtins):
+                    break
+                changed = True
+            else:
+                raise EvaluationError(
+                    f"local closure at {name!r} did not converge in "
+                    f"{max_rounds} iterations")
+
+        # 2a. Credential shipping: a signed rule whose head matches a
+        #     satisfiable release policy travels verbatim — the receiver can
+        #     re-verify and reason with it (the paper's signed-rule exchange).
+        for name in names:
+            state = states[name]
+            peer = state.peer
+            for credential_rule in _credential_rules(peer):
+                for receiver_name in names:
+                    if receiver_name == name:
+                        continue
+                    if any(_rule_identical(credential_rule, existing)
+                           for existing in per_peer_rules[receiver_name]):
+                        continue
+                    if _release_allows(state, peer, credential_rule.head,
+                                       receiver_name):
+                        per_peer_rules[receiver_name].append(credential_rule)
+                        result.sends += 1
+                        changed = True
+
+        # 2b. Derived-fact assertions: the receiver hears "name says fact"
+        #     (the sender signs the sent literal, §3.2), entering the
+        #     receiver's store with the sender appended as outer authority.
+        for name in names:
+            state = states[name]
+            peer = state.peer
+            for receiver_name in names:
+                if receiver_name == name:
+                    continue
+                receiver = states[receiver_name]
+                for literal in list(state.facts.values()):
+                    if not _release_allows(state, peer, literal, receiver_name):
+                        continue
+                    asserted = Literal(
+                        literal.predicate, literal.args,
+                        literal.authority + (Constant(name, quoted=True),))
+                    if receiver.add(asserted):
+                        result.sends += 1
+                        changed = True
+
+        if not changed:
+            break
+    else:
+        raise EvaluationError(
+            f"distributed fixpoint did not converge in {max_rounds} rounds")
+    return result

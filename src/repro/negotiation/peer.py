@@ -1,0 +1,622 @@
+"""Peers: the security agents that negotiate on behalf of users.
+
+A :class:`Peer` bundles everything §2 attributes to a party:
+
+- a knowledge base of local rules and release policies (the PeerTrust
+  program, loadable from source text);
+- a wallet of verified credentials (its own and cached third-party signed
+  rules);
+- an RSA key pair and a key ring of trusted issuer keys;
+- external predicates (``authenticatesTo``, ``purchaseApproved``, ...);
+- policy knobs: how deep it will reason for others, whether it insists on
+  certified answers, how many answers it returns per query.
+
+``handle`` is the single inbound entry point (the transport calls it); the
+outbound entry point is :meth:`Peer.request` / the strategy drivers in
+:mod:`repro.negotiation.strategies`.
+
+Release semantics implemented in :meth:`_releasable` (default-deny):
+
+- an *answer literal* may be sent to R iff a release policy's obligations
+  are provable with ``Requester := R``, or the top-level rule that derived
+  it has a satisfiable rule context (``<-{true}`` makes conclusions public);
+- an *own credential* may be disclosed iff a release policy over its head
+  is satisfied;
+- credentials *received from others in this session* are forwardable
+  (contexts were stripped by their owners before sending, §3.1 — sticky
+  policies are out of scope, as in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.credentials.credential import (
+    Credential,
+    issue_credential,
+    verify_credential,
+)
+from repro.credentials.revocation import RevocationList
+from repro.credentials.store import CredentialStore
+from repro.crypto.keys import KeyPair, KeyRing
+from repro.datalog.ast import Literal, Rule, fact
+from repro.datalog.builtins import BuiltinRegistry
+from repro.datalog.knowledge import KnowledgeBase
+from repro.datalog.sld import Solution, canonical_literal
+from repro.datalog.terms import Constant
+from repro.errors import CredentialError, KeyError_, SignatureError
+from repro.net.message import (
+    AnswerItem,
+    AnswerMessage,
+    DisclosureMessage,
+    Message,
+    PolicyMessage,
+    PolicyRequestMessage,
+    QueryMessage,
+)
+from repro.datalog.sld import unify_literals
+from repro.datalog.substitution import Substitution
+from repro.negotiation.engine import EvalContext
+from repro.negotiation.session import Session
+from repro.policy.pseudovars import bind_pseudovars, bind_pseudovars_in_literal
+from repro.policy.release import (
+    credential_release_decisions,
+    release_obligations,
+    rule_shipping_obligations,
+)
+from repro.policy.sticky import (
+    combined_sticky_guard,
+    sticky_obligations,
+    with_sticky_guard,
+)
+from repro.policy.unipro import UniProRegistry
+
+
+class Peer:
+    """One autonomous party in the network."""
+
+    def __init__(
+        self,
+        name: str,
+        keys: Optional[KeyPair] = None,
+        keyring: Optional[KeyRing] = None,
+        program: Optional[str] = None,
+        max_depth: int = 200,
+        max_answers: int = 4,
+        max_nesting: int = 30,
+        require_certified_answers: bool = True,
+        key_bits: int = 1024,
+        answers_queries: bool = True,
+        sticky_policies: bool = False,
+    ) -> None:
+        self.name = name
+        self.kb = KnowledgeBase()
+        self.credentials = CredentialStore()
+        self.keys = keys if keys is not None else KeyPair.generate(name, key_bits)
+        self.keyring = keyring if keyring is not None else KeyRing()
+        self.keyring.add(self.keys.public)
+        self.builtins = BuiltinRegistry()
+        self.unipro = UniProRegistry()
+        self.crls: list[RevocationList] = []
+        self.max_depth = max_depth
+        self.max_answers = max_answers
+        self.max_nesting = max_nesting
+        self.require_certified_answers = require_certified_answers
+        self.answers_queries = answers_queries
+        self.sticky_policies = sticky_policies
+        # Simulated clock for credential validity checks; None = wall time.
+        self.clock: Optional[float] = None
+        self.query_filter: Optional[Callable[[Literal, str], bool]] = None
+        # Extension point: callables (goal, requester, session) -> list of
+        # AnswerItem, consulted after the built-in derivation paths.  Used
+        # by content-triggered policy registries ('all' combining mode).
+        self.query_hooks: list[Callable[[Literal, str, Session], list]] = []
+        self.transport = None  # set by Transport.register
+        if program:
+            self.load_program(program)
+
+    # -- setup helpers ---------------------------------------------------------------
+
+    def load_program(self, source: str) -> list[Rule]:
+        """Parse and add PeerTrust source text to the local KB.
+
+        Signed rules in the text (``signedBy [..]``) are *not* turned into
+        credentials automatically — signatures need the issuer's private
+        key; use :meth:`hold_credential` / :func:`repro.credentials.issue_credential`.
+        """
+        return self.kb.load(source)
+
+    def add_rule(self, rule: Rule) -> None:
+        self.kb.add(rule)
+
+    def trust_key(self, public_key) -> None:
+        self.keyring.add(public_key)
+
+    def add_crl(self, crl: RevocationList) -> None:
+        self.crls.append(crl)
+
+    def hold_credential(self, credential: Credential, verify: bool = True) -> None:
+        """Put a credential in the wallet (a student caching her ID and the
+        registrar delegation rule, §3.1)."""
+        if verify:
+            verify_credential(credential, self.keyring, self.crls, now=self.clock)
+        self.credentials.add(credential)
+
+    def hold_received(self, credential: Credential, session: Session) -> None:
+        """Verify a credential received in ``session`` and keep it in the
+        session overlay (not the long-term wallet)."""
+        verify_credential(credential, self.keyring, self.crls, now=self.clock)
+        session.received_for(self.name).add(credential)
+        session.mark_holder(credential.serial, self.name)
+
+    def adopt_session_credentials(self, session: Session) -> int:
+        """Promote this session's received credentials into the long-term
+        wallet (the paper's caching of signed rules 'to speed up
+        negotiation', §4.2).  Returns how many were new."""
+        added = 0
+        for credential in session.received_for(self.name).credentials():
+            if self.credentials.add(credential):
+                added += 1
+        return added
+
+    def self_credential(self, literal: Literal) -> Credential:
+        """A self-signed credential asserting a ground literal this peer
+        derived (memoised so serials stay stable across rounds).  Used by
+        the eager strategy to push releasable plain facts, and when
+        answering queries."""
+        if not literal.is_ground():
+            raise CredentialError(f"cannot self-sign non-ground {literal}")
+        key = canonical_literal(literal)
+        cache = getattr(self, "_self_credentials", None)
+        if cache is None:
+            cache = self._self_credentials = {}
+        credential = cache.get(key)
+        if credential is None:
+            signed = fact(literal, signers=(Constant(self.name, quoted=True),))
+            credential = cache[key] = issue_credential(signed, self.keys)
+        return credential
+
+    def register_external(self, name: str, arity: int, fn) -> None:
+        self.builtins.register_external(name, arity, fn)
+
+    def register_check(self, name: str, arity: int, check) -> None:
+        self.builtins.register_check(name, arity, check)
+
+    # -- message handling ------------------------------------------------------------
+
+    def handle(self, message: Message) -> Optional[Message]:
+        if isinstance(message, QueryMessage):
+            return self._handle_query(message)
+        if isinstance(message, DisclosureMessage):
+            return self._handle_disclosure(message)
+        if isinstance(message, PolicyRequestMessage):
+            return self._handle_policy_request(message)
+        if isinstance(message, (AnswerMessage, PolicyMessage)):
+            return None  # replies are consumed inline by request()
+        return None
+
+    # -- query answering ------------------------------------------------------------------
+
+    def _session(self, session_id: str, initiator: str) -> Session:
+        return self.transport.sessions.get_or_create(
+            session_id, initiator, self.max_nesting)
+
+    def _handle_query(self, message: QueryMessage) -> AnswerMessage:
+        session = self._session(message.session_id, message.sender)
+        requester = message.sender
+        failure = AnswerMessage(
+            sender=self.name, receiver=requester,
+            session_id=session.id, query_id=message.message_id, items=())
+
+        if not self.answers_queries:
+            session.log("refuse", self.name, requester, "peer answers no queries")
+            return failure
+        if self.query_filter is not None and not self.query_filter(message.goal, requester):
+            session.log("refuse", self.name, requester, str(message.goal))
+            return failure
+        if not session.nesting_available():
+            session.log("exhausted", self.name, requester, "nesting budget")
+            return failure
+
+        session.depth += 1
+        try:
+            context = EvalContext(
+                peer=self,
+                session=session,
+                requester=requester,
+                kb=self.kb,
+                stores=[self.credentials, session.received_for(self.name)],
+                allow_remote=True,
+            )
+            # A ground goal is a yes/no question: one proof settles it.
+            # Open goals enumerate up to max_answers distinct solutions.
+            limit = 1 if message.goal.is_ground() else self.max_answers
+            solutions = context.query_goal(message.goal, max_solutions=limit)
+        finally:
+            session.depth -= 1
+
+        items: list[AnswerItem] = []
+        answered_keys: set[tuple] = set()
+        for solution in solutions:
+            item = self._build_answer_item(message.goal, solution, requester, session)
+            if item is not None:
+                items.append(item)
+                if item.answered_literal is not None:
+                    answered_keys.add(canonical_literal(item.answered_literal))
+
+        # Resource-access policies: a predicate may be governed *only* by a
+        # `$` rule (the paper's freeEnroll, §3.1) — access is granted when
+        # the guard and body are provable, with no separate content rule.
+        for item in self._release_policy_grants(message.goal, requester, session):
+            key = (canonical_literal(item.answered_literal)
+                   if item.answered_literal is not None else None)
+            if key in answered_keys:
+                continue
+            answered_keys.add(key)
+            items.append(item)
+            if len(items) >= self.max_answers:
+                break
+
+        for hook in self.query_hooks:
+            for item in hook(message.goal, requester, session):
+                key = (canonical_literal(item.answered_literal)
+                       if item.answered_literal is not None else None)
+                if key in answered_keys:
+                    continue
+                answered_keys.add(key)
+                items.append(item)
+                if len(items) >= self.max_answers:
+                    break
+
+        if items:
+            session.log("answer", self.name, requester,
+                        f"{message.goal} ({len(items)} item(s))")
+        else:
+            session.log("deny", self.name, requester, str(message.goal))
+        return AnswerMessage(
+            sender=self.name, receiver=requester,
+            session_id=session.id, query_id=message.message_id,
+            items=tuple(items))
+
+    def _build_answer_item(
+        self,
+        goal: Literal,
+        solution: Solution,
+        requester: str,
+        session: Session,
+    ) -> Optional[AnswerItem]:
+        answered = goal.apply(solution.subst)
+
+        if not self._answer_releasable(answered, solution, requester, session):
+            session.log("release-denied", self.name, requester, str(answered))
+            return None
+
+        overlay = session.received_for(self.name)
+        proof_credentials = [c for c in solution.proofs[0].credentials()
+                             if isinstance(c, Credential)]
+
+        # Sticky-policy propagation across modus ponens: an answer derived
+        # from sticky-guarded material may only go to requesters satisfying
+        # the union of those guards.
+        inherited_guard = None
+        if self.sticky_policies:
+            inherited_guard = combined_sticky_guard(proof_credentials)
+            if inherited_guard:
+                from repro.policy.pseudovars import bind_pseudovars_in_goals
+
+                obligations = bind_pseudovars_in_goals(
+                    inherited_guard, requester, self.name)
+                if not self._prove_obligations(obligations, requester, session):
+                    session.log("sticky-denied", self.name, requester,
+                                str(answered))
+                    return None
+
+        disclosed: list[Credential] = []
+        for credential in proof_credentials:
+            if session.holds(credential.serial, requester):
+                continue  # the requester already holds this statement
+            if overlay.get(credential.serial) is not None:
+                # Forwarding a statement received in this session.  A
+                # sticky-aware holder honours any attached origin context;
+                # otherwise contexts were stripped on send (3.1) and the
+                # statement travels freely.
+                if self.sticky_policies and credential.sticky_guard is not None:
+                    obligations = sticky_obligations(
+                        credential, requester, self.name)
+                    if not self._prove_obligations(
+                            obligations or (), requester, session):
+                        session.log("sticky-denied", self.name, requester,
+                                    f"credential {credential.rule.head}")
+                        continue
+                disclosed.append(credential)
+                continue
+            if not self._credential_releasable(credential, requester, session):
+                # Disclose-what-you-may: the answer still goes out (it passed
+                # its own release check); the withheld credential just makes
+                # the answer uncertifiable, and the asker decides whether to
+                # accept it.
+                session.log("release-denied", self.name, requester,
+                            f"credential {credential.rule.head}")
+                continue
+            if self.sticky_policies:
+                guard = self._release_guard_for(credential)
+                if guard:
+                    credential = with_sticky_guard(credential, guard)
+            disclosed.append(credential)
+
+        answer_credential: Optional[Credential] = None
+        if answered.is_ground():
+            signed_answer = fact(
+                answered, signers=(Constant(self.name, quoted=True),))
+            answer_credential = issue_credential(signed_answer, self.keys)
+            if self.sticky_policies and inherited_guard:
+                answer_credential = with_sticky_guard(
+                    answer_credential, inherited_guard)
+
+        bindings = {
+            variable.name: solution.subst.resolve(variable)
+            for variable in goal.variables()
+            if solution.subst.lookup(variable) is not None
+        }
+        for credential in disclosed:
+            session.mark_holder(credential.serial, requester)
+            session.mark_holder(credential.serial, self.name)
+            session.log("disclose", self.name, requester,
+                        str(credential.rule.head))
+        return AnswerItem(
+            bindings=bindings,
+            credentials=tuple(dict.fromkeys(disclosed)),  # stable dedup
+            answer_credential=answer_credential,
+            answered_literal=answered,
+        )
+
+    def _release_policy_grants(
+        self,
+        goal: Literal,
+        requester: str,
+        session: Session,
+        allow_remote: bool = True,
+    ) -> list[AnswerItem]:
+        """Grant access through a pure ``$`` resource policy: prove the
+        guard and body with Requester bound, and answer with the resulting
+        bindings (no supporting disclosure — the obligations were proved on
+        our side, often *from* the requester's disclosures)."""
+        items: list[AnswerItem] = []
+        bound_goal = bind_pseudovars_in_literal(goal, requester, self.name)
+        for policy in self.kb.release_policies_for(bound_goal):
+            instantiated = bind_pseudovars(policy, requester, self.name).rename_apart()
+            subst = unify_literals(bound_goal, instantiated.head, Substitution.empty())
+            if subst is None:
+                continue
+            assert instantiated.guard is not None
+            obligations = instantiated.guard + instantiated.body
+            context = EvalContext(
+                peer=self,
+                session=session,
+                requester=requester,
+                kb=self.kb,
+                stores=[self.credentials, session.received_for(self.name)],
+                allow_remote=allow_remote,
+                drop_peers=frozenset() if allow_remote else frozenset({requester}),
+            )
+            session.counters["release_checks"] += 1
+            solutions = context.engine.query(
+                obligations, subst=subst, max_solutions=self.max_answers)
+            for solution in solutions:
+                answered = bound_goal.apply(solution.subst)
+                # Sticky propagation also applies to $-policy grants: a
+                # grant whose obligations consumed sticky material may only
+                # reach requesters satisfying the inherited guards.
+                if self.sticky_policies:
+                    used = [c for proof in solution.proofs
+                            for c in proof.credentials()
+                            if isinstance(c, Credential)]
+                    inherited = combined_sticky_guard(used)
+                    if inherited:
+                        from repro.policy.pseudovars import bind_pseudovars_in_goals
+
+                        sticky_goals = bind_pseudovars_in_goals(
+                            inherited, requester, self.name)
+                        if not self._prove_obligations(
+                                sticky_goals, requester, session):
+                            session.log("sticky-denied", self.name, requester,
+                                        str(answered))
+                            continue
+                answer_credential: Optional[Credential] = None
+                if answered.is_ground():
+                    signed_answer = fact(
+                        answered, signers=(Constant(self.name, quoted=True),))
+                    answer_credential = issue_credential(signed_answer, self.keys)
+                bindings = {
+                    variable.name: solution.subst.resolve(variable)
+                    for variable in bound_goal.variables()
+                    if solution.subst.lookup(variable) is not None
+                }
+                items.append(AnswerItem(
+                    bindings=bindings,
+                    credentials=(),
+                    answer_credential=answer_credential,
+                    answered_literal=answered,
+                ))
+        return items
+
+    # -- release decisions -------------------------------------------------------------
+
+    def _release_guard_for(self, credential: Credential):
+        """The raw (pseudo-variable) guard of the first release policy whose
+        head covers ``credential`` — what a sticky disclosure attaches."""
+        heads = [credential.rule.head]
+        if not credential.rule.head.authority:
+            try:
+                issuer = credential.primary_issuer
+            except CredentialError:
+                issuer = None
+            if issuer is not None:
+                heads.append(Literal(
+                    credential.rule.head.predicate,
+                    credential.rule.head.args,
+                    (Constant(issuer, quoted=True),)))
+        for head in heads:
+            for policy in self.kb.release_policies_for(head):
+                renamed = policy.rename_apart()
+                if unify_literals(head, renamed.head, Substitution.empty()) is not None:
+                    return policy.guard or ()
+        return ()
+
+    def _prove_obligations(
+        self,
+        goals: tuple[Literal, ...],
+        requester: str,
+        session: Session,
+    ) -> bool:
+        if not goals:
+            return True
+        context = EvalContext(
+            peer=self,
+            session=session,
+            requester=requester,
+            kb=self.kb,
+            stores=[self.credentials, session.received_for(self.name)],
+            allow_remote=True,
+        )
+        session.counters["release_checks"] += 1
+        return context.prove(goals) is not None
+
+    def _answer_releasable(
+        self,
+        answered: Literal,
+        solution: Solution,
+        requester: str,
+        session: Session,
+    ) -> bool:
+        if requester == self.name:
+            return True
+        cache_key = ("answer", self.name, requester, canonical_literal(answered))
+        cached = session.release_cached(cache_key)
+        if cached is not None:
+            return cached
+
+        # Release policies may spell the statement with or without its
+        # authority chain; try both forms for singleton chains.
+        candidates = [answered]
+        if len(answered.authority) == 1:
+            candidates.append(Literal(answered.predicate, answered.args, ()))
+
+        allowed = False
+        for candidate in candidates:
+            for decision in release_obligations(self.kb, candidate, requester, self.name):
+                if self._prove_obligations(decision.goals, requester, session):
+                    allowed = True
+                    break
+            if allowed:
+                break
+        if not allowed:
+            top = solution.proofs[0]
+            if top.kind == "credential" and isinstance(top.credential, Credential):
+                # An answer whose proof is a single credential reveals no
+                # more than the credential itself: its release policy governs.
+                allowed = self._credential_releasable(top.credential, requester, session)
+            elif top.rule is not None:
+                # Fall back to the rule context of the top-level clause used:
+                # conclusions of a public rule (<-{true}) are shareable.
+                obligations = rule_shipping_obligations(top.rule, requester, self.name)
+                if obligations is not None:
+                    allowed = self._prove_obligations(obligations, requester, session)
+        session.cache_release(cache_key, allowed)
+        return allowed
+
+    def _credential_releasable(
+        self,
+        credential: Credential,
+        requester: str,
+        session: Session,
+    ) -> bool:
+        if requester == self.name:
+            return True
+        cache_key = ("credential", self.name, requester, credential.serial)
+        cached = session.release_cached(cache_key)
+        if cached is not None:
+            return cached
+        allowed = False
+        for decision in credential_release_decisions(
+                self.kb, credential, requester, self.name):
+            if self._prove_obligations(decision.goals, requester, session):
+                allowed = True
+                break
+        session.cache_release(cache_key, allowed)
+        return allowed
+
+    # -- unsolicited disclosures (eager strategy) --------------------------------------------
+
+    def _handle_disclosure(self, message: DisclosureMessage) -> Optional[Message]:
+        session = self._session(message.session_id, message.sender)
+        overlay = session.received_for(self.name)
+        accepted = 0
+        for credential in message.credentials:
+            try:
+                verify_credential(credential, self.keyring, self.crls,
+                                  now=self.clock)
+            except (CredentialError, SignatureError, KeyError_):
+                session.counters["bad_credentials"] += 1
+                continue
+            if overlay.add(credential):
+                accepted += 1
+            session.mark_holder(credential.serial, self.name)
+            session.mark_holder(credential.serial, message.sender)
+        session.log("absorb", self.name, message.sender,
+                    f"{accepted}/{len(message.credentials)} credential(s)")
+        return None
+
+    # -- UniPro policy disclosure ------------------------------------------------------------
+
+    def _handle_policy_request(self, message: PolicyRequestMessage) -> PolicyMessage:
+        session = self._session(message.session_id, message.sender)
+        refused = PolicyMessage(
+            sender=self.name, receiver=message.sender,
+            session_id=session.id, policy_name=message.policy_name,
+            rules=(), granted=False)
+        if not self.unipro.knows(message.policy_name):
+            session.log("policy-refuse", self.name, message.sender,
+                        message.policy_name)
+            return refused
+        policy = self.unipro.get(message.policy_name)
+        if policy.protection is None:
+            session.log("policy-refuse", self.name, message.sender,
+                        f"{message.policy_name} (undisclosable)")
+            return refused
+        if not self._prove_obligations(policy.protection, message.sender, session):
+            session.log("policy-refuse", self.name, message.sender,
+                        f"{message.policy_name} (protection unsatisfied)")
+            return refused
+        session.log("policy-disclose", self.name, message.sender, message.policy_name)
+        return PolicyMessage(
+            sender=self.name, receiver=message.sender,
+            session_id=session.id, policy_name=message.policy_name,
+            rules=policy.disclosed_rules(), granted=True)
+
+    # -- local querying (the peer asking its own engine) ----------------------------------------
+
+    def local_query(self, goal: Literal, session: Optional[Session] = None,
+                    max_solutions: Optional[int] = None,
+                    allow_remote: bool = True) -> list[Solution]:
+        """Evaluate a goal as this peer, for its own purposes."""
+        if session is None:
+            from repro.negotiation.session import next_session_id
+
+            session = (self.transport.sessions.get_or_create(
+                next_session_id("local"), self.name, self.max_nesting)
+                if self.transport is not None
+                else Session(next_session_id("local"), self.name, self.max_nesting))
+        context = EvalContext(
+            peer=self,
+            session=session,
+            requester=self.name,
+            kb=self.kb,
+            stores=[self.credentials, session.received_for(self.name)],
+            allow_remote=allow_remote and self.transport is not None,
+        )
+        return context.query_goal(goal, max_solutions=max_solutions)
+
+    def __repr__(self) -> str:
+        return (f"Peer({self.name!r}, {len(self.kb)} rules, "
+                f"{len(self.credentials)} credentials)")

@@ -1,0 +1,58 @@
+"""Negotiation outcomes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.credentials.credential import Credential
+from repro.datalog.ast import Literal
+from repro.datalog.terms import Term
+from repro.negotiation.session import Session
+
+
+@dataclass
+class NegotiationResult:
+    """What the initiator gets back from a negotiation.
+
+    ``granted`` is the headline outcome.  On success, ``answers`` holds one
+    entry per solution: the answered literal and the bindings of the query's
+    variables.  ``credentials_received`` are the statements the counterpart
+    disclosed (already verified).  ``session`` carries the full transcript
+    and counters for inspection.
+    """
+
+    granted: bool
+    goal: Literal
+    provider: str
+    requester: str
+    answers: list[tuple[Literal, dict[str, Term]]] = field(default_factory=list)
+    credentials_received: list[Credential] = field(default_factory=list)
+    session: Optional[Session] = None
+    failure_reason: str = ""
+
+    @property
+    def first_bindings(self) -> dict[str, Term]:
+        return self.answers[0][1] if self.answers else {}
+
+    @property
+    def answered_literal(self) -> Optional[Literal]:
+        return self.answers[0][0] if self.answers else None
+
+    def binding(self, name: str) -> Optional[Term]:
+        return self.first_bindings.get(name)
+
+    def metrics(self) -> dict:
+        """Negotiation-level counters (message/byte totals live on the
+        transport stats; see workloads.metrics for the combined view)."""
+        counters = dict(self.session.counters) if self.session else {}
+        return {
+            "granted": self.granted,
+            "events": len(self.session.transcript) if self.session else 0,
+            "disclosures": self.session.total_disclosures() if self.session else 0,
+            **counters,
+        }
+
+    def __repr__(self) -> str:
+        status = "granted" if self.granted else f"denied ({self.failure_reason})"
+        return f"NegotiationResult({self.goal} @ {self.provider}: {status})"

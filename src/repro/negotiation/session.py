@@ -1,0 +1,168 @@
+"""Negotiation sessions: shared state, loop detection, transcript, metrics.
+
+A :class:`Session` spans one negotiation — the initial query plus every
+nested counter-query, disclosure, and release check it triggers.  It owns:
+
+- **loop detection** — the set of in-flight ``(asker, askee, goal-pattern)``
+  triples; re-entering one fails that proof branch, which (together with
+  the nesting bound) gives the termination guarantee the paper lists as
+  future work (§6, tested in E10);
+- **per-peer received-credential overlays** — statements disclosed during
+  this session, kept apart from each peer's long-term stores;
+- **the transcript** — an ordered log of every observable event, which the
+  policy-protection experiment (E3) scans to prove that private rule text
+  never crossed the wire;
+- **counters** — queries, answers, denials, disclosures, loop hits.
+
+In a real deployment each peer would track only its own view; this
+in-process object is the union of those views, which is exactly what the
+experiments need to observe.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.credentials.store import CredentialStore
+
+_session_counter = itertools.count(1)
+
+
+def next_session_id(prefix: str = "session") -> str:
+    return f"{prefix}-{next(_session_counter)}"
+
+
+@dataclass(frozen=True, slots=True)
+class TranscriptEvent:
+    """One observable step of a negotiation."""
+
+    sequence: int
+    kind: str          # query / answer / deny / disclose / release-check / loop / ...
+    actor: str         # the peer performing the step
+    counterpart: str   # the other side of the step ("" when not applicable)
+    detail: str        # human-readable payload (goal text, credential head, ...)
+
+    def __str__(self) -> str:
+        arrow = f" -> {self.counterpart}" if self.counterpart else ""
+        return f"[{self.sequence:04d}] {self.actor}{arrow}: {self.kind} {self.detail}"
+
+
+class Session:
+    """Shared state of one negotiation."""
+
+    def __init__(
+        self,
+        session_id: str,
+        initiator: str,
+        max_nesting: int = 30,
+    ) -> None:
+        self.id = session_id
+        self.initiator = initiator
+        self.max_nesting = max_nesting
+        self.depth = 0
+        self.in_flight: set[tuple[str, str, tuple]] = set()
+        self.counters: Counter = Counter()
+        self.transcript: list[TranscriptEvent] = []
+        self._received: dict[str, CredentialStore] = {}
+        self._release_cache: dict[tuple, bool] = {}
+        self._holders: dict[str, set[str]] = {}
+        self._sequence = itertools.count(1)
+
+    # -- transcript --------------------------------------------------------------
+
+    def log(self, kind: str, actor: str, counterpart: str = "", detail: str = "") -> None:
+        self.transcript.append(
+            TranscriptEvent(next(self._sequence), kind, actor, counterpart, detail))
+        self.counters[kind] += 1
+
+    def events(self, kind: Optional[str] = None) -> Iterator[TranscriptEvent]:
+        for event in self.transcript:
+            if kind is None or event.kind == kind:
+                yield event
+
+    def render_transcript(self) -> str:
+        return "\n".join(str(event) for event in self.transcript)
+
+    # -- loop detection -------------------------------------------------------------
+
+    def enter_remote(self, asker: str, askee: str, goal_key: tuple) -> bool:
+        """Mark a remote query in flight; False when it would re-enter an
+        identical in-flight query (a negotiation loop)."""
+        key = (asker, askee, goal_key)
+        if key in self.in_flight:
+            self.counters["loops_detected"] += 1
+            self.log("loop", asker, askee, "re-entrant query suppressed")
+            return False
+        self.in_flight.add(key)
+        return True
+
+    def exit_remote(self, asker: str, askee: str, goal_key: tuple) -> None:
+        self.in_flight.discard((asker, askee, goal_key))
+
+    def nesting_available(self) -> bool:
+        return self.depth < self.max_nesting
+
+    # -- received-credential overlays ----------------------------------------------
+
+    def received_for(self, peer_name: str) -> CredentialStore:
+        """Credentials ``peer_name`` has received during this session."""
+        store = self._received.get(peer_name)
+        if store is None:
+            store = self._received[peer_name] = CredentialStore()
+        return store
+
+    def credentials_disclosed_to(self, peer_name: str) -> int:
+        return len(self.received_for(peer_name))
+
+    def total_disclosures(self) -> int:
+        return sum(len(store) for store in self._received.values())
+
+    # -- who-holds-what tracking -----------------------------------------------------
+
+    def mark_holder(self, serial: str, peer_name: str) -> None:
+        """Record that ``peer_name`` holds the credential with ``serial``
+        (it sent or received it in this session)."""
+        self._holders.setdefault(serial, set()).add(peer_name)
+
+    def holds(self, serial: str, peer_name: str) -> bool:
+        return peer_name in self._holders.get(serial, ())
+
+    # -- release-decision memoisation -------------------------------------------------
+
+    def release_cached(self, key: tuple) -> Optional[bool]:
+        return self._release_cache.get(key)
+
+    def cache_release(self, key: tuple, allowed: bool) -> None:
+        self._release_cache[key] = allowed
+
+    def __repr__(self) -> str:
+        return (f"Session({self.id!r}, initiator={self.initiator!r}, "
+                f"{len(self.transcript)} events)")
+
+
+class SessionTable:
+    """Transport-wide registry so both peers of an in-process negotiation
+    share one :class:`Session` object."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, Session] = {}
+
+    def get_or_create(self, session_id: str, initiator: str,
+                      max_nesting: int = 30) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            session = self._sessions[session_id] = Session(
+                session_id, initiator, max_nesting)
+        return session
+
+    def get(self, session_id: str) -> Optional[Session]:
+        return self._sessions.get(session_id)
+
+    def forget(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,97 @@
+"""Non-transferable access tokens.
+
+§3.1: "the mechanism may instead give Alice a nontransferable token that
+she can use to access the service repeatedly without having to negotiate
+trust again until the token expires."
+
+A token is a signed statement by the resource owner binding (resource,
+holder, expiry).  Non-transferability is enforced at verification: the
+presenting peer's name must equal the token's holder field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.canonical import canonical_bytes
+from repro.crypto.keys import KeyPair, KeyRing
+from repro.datalog.ast import Literal
+from repro.errors import CredentialError, ExpiredCredentialError, SignatureError
+
+
+def _token_signing_bytes(resource: Literal, holder: str, issuer: str,
+                         issued_at: float, expires_at: Optional[float],
+                         serial: str) -> bytes:
+    parts = [
+        canonical_bytes(resource),
+        holder.encode("utf-8"),
+        issuer.encode("utf-8"),
+        repr(issued_at).encode("ascii"),
+        repr(expires_at).encode("ascii"),
+        serial.encode("ascii"),
+    ]
+    return b"".join(len(p).to_bytes(4, "big") + p for p in parts)
+
+
+@dataclass(frozen=True, slots=True)
+class AccessToken:
+    """A signed grant of repeated access to one resource."""
+
+    resource: Literal
+    holder: str
+    issuer: str
+    issued_at: float
+    expires_at: Optional[float]
+    serial: str
+    signature: bytes
+
+    def __repr__(self) -> str:
+        return (f"AccessToken({self.resource} for {self.holder!r} "
+                f"from {self.issuer!r})")
+
+
+def issue_token(
+    issuer_keys: KeyPair,
+    resource: Literal,
+    holder: str,
+    issued_at: float = 0.0,
+    ttl: Optional[float] = None,
+) -> AccessToken:
+    """Issue a token for ``holder`` over ``resource``."""
+    expires_at = issued_at + ttl if ttl is not None else None
+    serial_material = _token_signing_bytes(
+        resource, holder, issuer_keys.principal, issued_at, expires_at, "")
+    serial = hashlib.sha256(serial_material).hexdigest()
+    signature = issuer_keys.sign(_token_signing_bytes(
+        resource, holder, issuer_keys.principal, issued_at, expires_at, serial))
+    return AccessToken(resource, holder, issuer_keys.principal,
+                       issued_at, expires_at, serial, signature)
+
+
+def verify_token(
+    token: AccessToken,
+    presenter: str,
+    keyring: KeyRing,
+    now: float = 0.0,
+    revoked_serials: Optional[set[str]] = None,
+) -> None:
+    """Verify a presented token; raises on any failure.
+
+    Checks: signature by the issuer, the presenter *is* the holder
+    (non-transferability), expiry, and revocation.
+    """
+    key = keyring.get(token.issuer)
+    body = _token_signing_bytes(token.resource, token.holder, token.issuer,
+                                token.issued_at, token.expires_at, token.serial)
+    if not key.verify(body, token.signature):
+        raise SignatureError(f"token {token.serial[:12]} signature invalid")
+    if presenter != token.holder:
+        raise CredentialError(
+            f"token is non-transferable: held by {token.holder!r}, "
+            f"presented by {presenter!r}")
+    if token.expires_at is not None and now > token.expires_at:
+        raise ExpiredCredentialError(f"token expired at {token.expires_at}")
+    if revoked_serials and token.serial in revoked_serials:
+        raise CredentialError(f"token {token.serial[:12]} has been revoked")

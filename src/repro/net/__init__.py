@@ -1,0 +1,42 @@
+"""In-process peer-to-peer substrate.
+
+PeerTrust 1.0 ran negotiations over secure socket connections between Java
+peers.  The negotiation logic only needs ordered, reliable request/response
+delivery plus a way to find peers — so this package provides:
+
+- :mod:`repro.net.message` — the typed negotiation messages and their wire
+  size accounting;
+- :mod:`repro.net.transport` — a synchronous in-memory bus with a pluggable
+  latency model and per-link metrics (message and byte counts, simulated
+  clock);
+- :mod:`repro.net.registry` — the peer directory;
+- :mod:`repro.net.broker` — the authority broker of §4.2
+  (``authority(purchaseApproved, Authority) @ myBroker``).
+"""
+
+from repro.net.message import (
+    AnswerItem,
+    AnswerMessage,
+    DisclosureMessage,
+    Message,
+    QueryMessage,
+)
+from repro.net.broker import BrokerDirectory, broker_program
+from repro.net.superpeer import SuperPeerNetwork
+from repro.net.registry import PeerRegistry
+from repro.net.transport import LatencyModel, Transport, TransportStats
+
+__all__ = [
+    "Message",
+    "QueryMessage",
+    "AnswerMessage",
+    "AnswerItem",
+    "DisclosureMessage",
+    "PeerRegistry",
+    "BrokerDirectory",
+    "broker_program",
+    "SuperPeerNetwork",
+    "Transport",
+    "TransportStats",
+    "LatencyModel",
+]

@@ -1,0 +1,87 @@
+"""Authority brokers (§4.2).
+
+"These lists of authorities can also come from a broker:
+``authority(purchaseApproved, Authority) @ myBroker``."
+
+A broker is just a peer whose knowledge base maps topics (predicate names)
+to authoritative peers, with a public release policy — this module builds
+such peers and keeps their directories maintainable at run time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional
+
+from repro.datalog.ast import Literal, Rule, fact
+from repro.datalog.terms import Constant, Variable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.negotiation.peer import Peer
+    from repro.world import World
+
+AUTHORITY_PREDICATE = "authority"
+
+
+def broker_program(directory: Mapping[str, str | Iterable[str]]) -> str:
+    """PeerTrust source for a broker serving ``directory``.
+
+    ``directory`` maps topic (predicate name) to one or more authority
+    peer names.  The generated program answers ``authority(Topic, A)``
+    queries for anyone (``$ true``).
+    """
+    lines = []
+    for topic, authorities in sorted(directory.items()):
+        if isinstance(authorities, str):
+            authorities = [authorities]
+        for authority in authorities:
+            lines.append(f'authority({topic}, "{authority}").')
+    lines.append("authority(P, A) $ true <-{true} authority(P, A).")
+    return "\n".join(lines)
+
+
+class BrokerDirectory:
+    """A live broker peer with a mutable topic → authority directory."""
+
+    def __init__(self, peer: "Peer") -> None:
+        self.peer = peer
+
+    @staticmethod
+    def create(world: "World", name: str = "myBroker",
+               directory: Optional[Mapping[str, str | Iterable[str]]] = None,
+               **peer_options) -> "BrokerDirectory":
+        """Add a broker peer to ``world`` and return its directory handle."""
+        peer = world.add_peer(name, broker_program(directory or {}),
+                              **peer_options)
+        return BrokerDirectory(peer)
+
+    def _entry(self, topic: str, authority: str) -> Rule:
+        return fact(Literal(AUTHORITY_PREDICATE,
+                            (Constant(topic), Constant(authority, quoted=True))))
+
+    def register(self, topic: str, authority: str) -> None:
+        """Add (or re-add, idempotently) one directory entry."""
+        entry = self._entry(topic, authority)
+        if entry not in self.peer.kb:
+            self.peer.kb.add(entry)
+
+    def unregister(self, topic: str, authority: str) -> bool:
+        return self.peer.kb.remove(self._entry(topic, authority))
+
+    def authorities_for(self, topic: str) -> list[str]:
+        """Current directory entries for ``topic``."""
+        goal = Literal(AUTHORITY_PREDICATE, (Constant(topic), Variable("A")))
+        names = []
+        for rule in self.peer.kb.rules_for(goal):
+            if rule.is_fact and str(rule.head.args[0]) == topic:
+                value = getattr(rule.head.args[1], "value", None)
+                if isinstance(value, str):
+                    names.append(value)
+        return sorted(names)
+
+    def topics(self) -> list[str]:
+        topics = {
+            str(rule.head.args[0])
+            for rule in self.peer.kb.content_rules()
+            if rule.head.predicate == AUTHORITY_PREDICATE and rule.is_fact
+        }
+        return sorted(topics)

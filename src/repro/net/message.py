@@ -1,0 +1,149 @@
+"""Typed messages exchanged during trust negotiation.
+
+Four message kinds cover the protocol:
+
+- :class:`QueryMessage` — "prove this literal for me" (possibly a
+  counter-query triggered by a release guard);
+- :class:`AnswerMessage` — zero or more :class:`AnswerItem` solutions, each
+  carrying variable bindings plus the credentials disclosed to support the
+  answer;
+- :class:`DisclosureMessage` — an unsolicited batch of credentials (the
+  eager strategy's round payload);
+- :class:`PolicyRequestMessage` / :class:`PolicyMessage` — UniPro policy
+  definition exchange (§2 "Sensitive policies").
+
+Wire size is estimated from canonical encodings so transports can account
+bytes without a full serialisation format.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.credentials.credential import Credential
+from repro.crypto.canonical import canonical_bytes
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.terms import Term
+
+_message_counter = itertools.count(1)
+
+
+def next_message_id() -> int:
+    return next(_message_counter)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Common envelope fields; concrete messages subclass this."""
+
+    sender: str
+    receiver: str
+    session_id: str
+    message_id: int = field(default_factory=next_message_id)
+
+    def wire_size(self) -> int:
+        """Approximate serialised size in bytes (envelope only)."""
+        return len(self.sender) + len(self.receiver) + len(self.session_id) + 8
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+def _credential_size(credential: Credential) -> int:
+    size = len(canonical_bytes(credential.rule))
+    size += sum(len(s) for s in credential.signatures)
+    size += len(credential.serial)
+    return size
+
+
+@dataclass(frozen=True, slots=True)
+class QueryMessage(Message):
+    """A request to prove ``goal``; ``depth`` tracks nesting for loop/debug
+    purposes (authoritative loop detection lives in the session)."""
+
+    goal: Literal = None  # type: ignore[assignment]
+    depth: int = 0
+
+    def wire_size(self) -> int:
+        return Message.wire_size(self) + len(canonical_bytes(self.goal)) + 4
+
+
+@dataclass(frozen=True, slots=True)
+class AnswerItem:
+    """One solution to a query.
+
+    ``bindings`` maps the query's variable names to ground terms;
+    ``credentials`` are the signed rules disclosed so the asker can rebuild
+    a certified proof; ``answer_credential`` is the answering peer's own
+    signature over the answered literal (what makes "Q says φ" believable
+    when Q is itself the authority)."""
+
+    bindings: dict[str, Term]
+    credentials: tuple[Credential, ...] = ()
+    answer_credential: Optional[Credential] = None
+    answered_literal: Optional[Literal] = None
+
+    def wire_size(self) -> int:
+        size = sum(len(name) + len(canonical_bytes(term))
+                   for name, term in self.bindings.items())
+        size += sum(_credential_size(c) for c in self.credentials)
+        if self.answer_credential is not None:
+            size += _credential_size(self.answer_credential)
+        return size
+
+
+@dataclass(frozen=True, slots=True)
+class AnswerMessage(Message):
+    """Response to a :class:`QueryMessage`.
+
+    ``items`` empty means failure — deliberately indistinguishable between
+    "I cannot derive this" and "I will not tell you" (the information-leak
+    surface the paper's §6 wants analysed; see experiment E10)."""
+
+    query_id: int = 0
+    items: tuple[AnswerItem, ...] = ()
+
+    @property
+    def is_failure(self) -> bool:
+        return not self.items
+
+    def wire_size(self) -> int:
+        return Message.wire_size(self) + 4 + sum(item.wire_size() for item in self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class DisclosureMessage(Message):
+    """Unsolicited credential batch (eager strategy round)."""
+
+    credentials: tuple[Credential, ...] = ()
+    final: bool = False  # sender has nothing further to disclose
+
+    def wire_size(self) -> int:
+        return Message.wire_size(self) + 1 + sum(
+            _credential_size(c) for c in self.credentials)
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyRequestMessage(Message):
+    """Request for the definition of a named (UniPro) policy."""
+
+    policy_name: str = ""
+
+    def wire_size(self) -> int:
+        return Message.wire_size(self) + len(self.policy_name)
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyMessage(Message):
+    """Disclosure of a named policy's defining rules (contexts stripped)."""
+
+    policy_name: str = ""
+    rules: tuple[Rule, ...] = ()
+    granted: bool = False
+
+    def wire_size(self) -> int:
+        return Message.wire_size(self) + len(self.policy_name) + 1 + sum(
+            len(canonical_bytes(rule)) for rule in self.rules)

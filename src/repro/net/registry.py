@@ -1,0 +1,63 @@
+"""Peer directory.
+
+Maps peer names to live peer objects.  The only contract a registered peer
+must satisfy is the :class:`MessageHandler` protocol — a ``handle(message)``
+method returning an optional reply — so the transport stays decoupled from
+the negotiation package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Protocol, runtime_checkable
+
+from repro.errors import UnknownPeerError
+from repro.net.message import Message
+
+
+@runtime_checkable
+class MessageHandler(Protocol):
+    """What the transport needs from a registered peer."""
+
+    name: str
+
+    def handle(self, message: Message) -> Optional[Message]:
+        """Process one inbound message, optionally returning a reply."""
+        ...
+
+
+class PeerRegistry:
+    """Name → peer lookup with strict registration semantics."""
+
+    def __init__(self) -> None:
+        self._peers: dict[str, MessageHandler] = {}
+
+    def register(self, peer: MessageHandler) -> None:
+        existing = self._peers.get(peer.name)
+        if existing is not None and existing is not peer:
+            raise UnknownPeerError(
+                f"a different peer is already registered as {peer.name!r}")
+        self._peers[peer.name] = peer
+
+    def unregister(self, name: str) -> None:
+        self._peers.pop(name, None)
+
+    def get(self, name: str) -> MessageHandler:
+        peer = self._peers.get(name)
+        if peer is None:
+            raise UnknownPeerError(f"no peer registered as {name!r}")
+        return peer
+
+    def knows(self, name: str) -> bool:
+        return name in self._peers
+
+    def names(self) -> list[str]:
+        return sorted(self._peers)
+
+    def __iter__(self) -> Iterator[MessageHandler]:
+        return iter(self._peers.values())
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._peers

@@ -1,0 +1,159 @@
+"""Super-peer routing (the Edutella substrate of §1, after reference [16]).
+
+The paper's peers live in the Edutella network, which organises peers under
+*super-peers* connected in a HyperCuP hypercube; ordinary peers attach to
+one super-peer, and super-peers maintain *routing indices* mapping topics
+(predicates) to the directions where providers live.
+
+This module models that substrate at the level the negotiation layer
+cares about:
+
+- **topology** — super-peers form a hypercube of dimension ⌈log₂ n⌉;
+  the route between two leaf peers costs ``1 + hamming(sp_a, sp_b) + 1``
+  hops (up to the local super-peer, across the cube, down to the target);
+- **latency** — installing the network replaces the world transport's
+  latency model with a per-hop one, so negotiation experiments see
+  topology-dependent simulated time (message counts stay logical: the
+  relay hops are accounted in latency and in ``hop_log``);
+- **routing indices** — peers advertise the predicates they answer;
+  :meth:`SuperPeerNetwork.locate` resolves a predicate to provider names,
+  which is how a peer can discover an authority without a central broker.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.errors import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world import World
+
+
+def hamming_distance(a: int, b: int) -> int:
+    return bin(a ^ b).count("1")
+
+
+class SuperPeerNetwork:
+    """A hypercube of super-peers over a world's peers."""
+
+    def __init__(self, world: "World", superpeer_count: int = 4,
+                 hop_latency_ms: float = 1.0,
+                 ms_per_kb: float = 0.5) -> None:
+        if superpeer_count < 1:
+            raise ValueError("need at least one super-peer")
+        self.world = world
+        self.dimension = max(0, math.ceil(math.log2(superpeer_count)))
+        self.superpeer_count = 2 ** self.dimension if superpeer_count > 1 else 1
+        self.hop_latency_ms = hop_latency_ms
+        self.ms_per_kb = ms_per_kb
+        self._assignment: dict[str, int] = {}
+        self._advertised: dict[str, set[str]] = defaultdict(set)
+        self._next = 0
+        self.hop_log: list[tuple[str, str, int]] = []
+        for name in sorted(world.peers):
+            self.assign(name)
+        world.transport.latency = self._latency_model
+        setattr(world, "superpeer_network", self)
+
+    # -- membership -------------------------------------------------------------
+
+    def assign(self, peer_name: str,
+               superpeer: Optional[int] = None) -> int:
+        """Attach a peer to a super-peer (round-robin by default)."""
+        if superpeer is None:
+            superpeer = self._next % self.superpeer_count
+            self._next += 1
+        if not 0 <= superpeer < self.superpeer_count:
+            raise NetworkError(
+                f"super-peer {superpeer} out of range 0..{self.superpeer_count - 1}")
+        self._assignment[peer_name] = superpeer
+        return superpeer
+
+    def superpeer_of(self, peer_name: str) -> int:
+        assigned = self._assignment.get(peer_name)
+        if assigned is None:
+            raise NetworkError(f"peer {peer_name!r} is not attached")
+        return assigned
+
+    # -- routing ------------------------------------------------------------------
+
+    def hops(self, sender: str, receiver: str) -> int:
+        """Route length in hops.  Same super-peer: up + down = 2; otherwise
+        add the hypercube distance between the super-peers."""
+        if sender == receiver:
+            return 0
+        sp_sender = self.superpeer_of(sender)
+        sp_receiver = self.superpeer_of(receiver)
+        return 2 + hamming_distance(sp_sender, sp_receiver)
+
+    def route(self, sender: str, receiver: str) -> list[str]:
+        """The hop-by-hop route, greedily correcting one hypercube bit at a
+        time (HyperCuP forwarding)."""
+        if sender == receiver:
+            return [sender]
+        path = [sender]
+        current = self.superpeer_of(sender)
+        target = self.superpeer_of(receiver)
+        path.append(f"SP{current}")
+        bit = 0
+        while current != target:
+            if (current ^ target) >> bit & 1:
+                current ^= 1 << bit
+                path.append(f"SP{current}")
+            bit += 1
+        path.append(receiver)
+        return path
+
+    def _latency_model(self, sender: str, receiver: str, size: int) -> float:
+        try:
+            hop_count = max(1, self.hops(sender, receiver))
+        except NetworkError:
+            hop_count = 1  # unattached principals fall back to one hop
+        self.hop_log.append((sender, receiver, hop_count))
+        return hop_count * self.hop_latency_ms + self.ms_per_kb * (size / 1024.0)
+
+    # -- routing indices --------------------------------------------------------------
+
+    def advertise(self, peer_name: str, predicates: Iterable[str]) -> None:
+        """Publish that ``peer_name`` answers queries for ``predicates``
+        (the super-peer routing-index entry)."""
+        self.superpeer_of(peer_name)  # must be attached
+        for predicate in predicates:
+            self._advertised[predicate].add(peer_name)
+
+    def advertise_from_kb(self, peer_name: str) -> None:
+        """Advertise every predicate the peer has a release policy for —
+        the statements it is in principle willing to share."""
+        peer = self.world.peers[peer_name]
+        self.advertise(peer_name, {
+            policy.head.predicate for policy in peer.kb.release_policies()
+        })
+
+    def withdraw(self, peer_name: str,
+                 predicates: Optional[Iterable[str]] = None) -> None:
+        if predicates is None:
+            for providers in self._advertised.values():
+                providers.discard(peer_name)
+            return
+        for predicate in predicates:
+            self._advertised[predicate].discard(peer_name)
+
+    def locate(self, predicate: str,
+               near: Optional[str] = None) -> list[str]:
+        """Providers advertising ``predicate``, closest-first when ``near``
+        is given (ties broken by name)."""
+        providers = sorted(self._advertised.get(predicate, ()))
+        if near is None:
+            return providers
+        return sorted(providers, key=lambda name: (self.hops(near, name), name))
+
+    # -- accounting -------------------------------------------------------------------
+
+    def total_hops(self) -> int:
+        return sum(entry[2] for entry in self.hop_log)
+
+    def reset_hop_log(self) -> None:
+        self.hop_log.clear()

@@ -1,0 +1,144 @@
+"""Synchronous in-memory transport with latency modelling and metrics.
+
+Negotiations in this reproduction run as nested request/response calls —
+the natural shape for a backward-chaining metainterpreter — so the
+transport's job is delivery, accounting, and failure injection:
+
+- **metrics**: message and byte counts, per-link and per-kind breakdowns,
+  and a simulated clock advanced by a pluggable :class:`LatencyModel`
+  (experiments report negotiation cost in messages/bytes/simulated-ms,
+  independent of host speed);
+- **limits**: an optional maximum message size
+  (:class:`repro.errors.MessageTooLargeError`) and a hop budget per session;
+- **failure injection**: a drop predicate for testing partial failure
+  (dropped requests surface as :class:`repro.errors.NetworkError`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import MessageTooLargeError, NetworkError
+from repro.net.message import Message
+from repro.net.registry import PeerRegistry
+
+# latency(sender, receiver, size_bytes) -> simulated milliseconds
+LatencyModel = Callable[[str, str, int], float]
+
+
+def constant_latency(milliseconds: float = 1.0) -> LatencyModel:
+    """Every message takes the same simulated time."""
+    return lambda sender, receiver, size: milliseconds
+
+
+def bandwidth_latency(base_ms: float = 1.0, ms_per_kb: float = 0.5) -> LatencyModel:
+    """Affine latency in message size — the default model."""
+    return lambda sender, receiver, size: base_ms + ms_per_kb * (size / 1024.0)
+
+
+def jittered_latency(base_ms: float = 1.0, jitter_ms: float = 0.5,
+                     seed: int = 0) -> LatencyModel:
+    """Base latency plus deterministic pseudo-random jitter."""
+    generator = random.Random(seed)
+    return lambda sender, receiver, size: base_ms + generator.random() * jitter_ms
+
+
+@dataclass
+class TransportStats:
+    """Cumulative transport accounting."""
+
+    messages: int = 0
+    bytes: int = 0
+    simulated_ms: float = 0.0
+    by_kind: Counter = field(default_factory=Counter)
+    by_link: dict[tuple[str, str], int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, message: Message, size: int, latency: float) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.simulated_ms += latency
+        self.by_kind[message.kind] += 1
+        self.by_link[(message.sender, message.receiver)] += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "simulated_ms": round(self.simulated_ms, 3),
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class Transport:
+    """Delivers messages between registered peers, synchronously.
+
+    ``request`` performs an RPC-style exchange: the receiver's ``handle``
+    runs inline and its reply (if any) is accounted and returned.  One-way
+    traffic uses ``send``.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[PeerRegistry] = None,
+        latency: Optional[LatencyModel] = None,
+        max_message_bytes: Optional[int] = None,
+        drop: Optional[Callable[[Message], bool]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else PeerRegistry()
+        self.latency = latency if latency is not None else bandwidth_latency()
+        self.max_message_bytes = max_message_bytes
+        self.drop = drop
+        self.stats = TransportStats()
+        # Shared negotiation-session table (import here to keep net/ free of
+        # a hard dependency direction at module-import time).
+        from repro.negotiation.session import SessionTable
+
+        self.sessions = SessionTable()
+
+    # -- registration passthrough -------------------------------------------------
+
+    def register(self, peer) -> None:
+        self.registry.register(peer)
+        # Give the peer a back-reference so it can issue its own requests.
+        setattr(peer, "transport", self)
+
+    # -- delivery --------------------------------------------------------------------
+
+    def _account(self, message: Message) -> None:
+        size = message.wire_size()
+        if self.max_message_bytes is not None and size > self.max_message_bytes:
+            raise MessageTooLargeError(
+                f"{message.kind} of {size} bytes exceeds limit "
+                f"{self.max_message_bytes}")
+        if self.drop is not None and self.drop(message):
+            raise NetworkError(
+                f"{message.kind} from {message.sender!r} to "
+                f"{message.receiver!r} was dropped")
+        self.stats.record(message, size,
+                          self.latency(message.sender, message.receiver, size))
+
+    def send(self, message: Message) -> None:
+        """One-way delivery; the receiver's reply (if any) is discarded."""
+        self._account(message)
+        self.registry.get(message.receiver).handle(message)
+
+    def request(self, message: Message) -> Message:
+        """RPC exchange: deliver, run the handler, account and return the
+        reply.  A handler returning ``None`` is a protocol violation."""
+        self._account(message)
+        reply = self.registry.get(message.receiver).handle(message)
+        if reply is None:
+            raise NetworkError(
+                f"peer {message.receiver!r} returned no reply to "
+                f"{message.kind}")
+        self._account(reply)
+        return reply
+
+    def reset_stats(self) -> TransportStats:
+        """Swap in fresh counters and return the old ones."""
+        previous = self.stats
+        self.stats = TransportStats()
+        return previous

@@ -1,0 +1,54 @@
+"""The PeerTrust policy language surface.
+
+The AST itself lives in :mod:`repro.datalog.ast` (literals with authority
+chains, rules with ``$`` guards and rule contexts); this package adds the
+policy-level semantics on top:
+
+- :mod:`repro.policy.pseudovars` — the ``Requester``/``Self``
+  pseudo-variables, bound per incoming query;
+- :mod:`repro.policy.release` — release-policy lookup and the default-deny
+  context ``Requester = Self``;
+- :mod:`repro.policy.unipro` — UniPro-style named policies whose definitions
+  are themselves protected resources (policy protection, §2).
+"""
+
+from repro.datalog.ast import Literal, Rule, fact
+from repro.policy.pseudovars import (
+    REQUESTER,
+    SELF,
+    bind_pseudovars,
+    bind_pseudovars_in_goals,
+    mentions_pseudovars,
+)
+from repro.policy.release import ReleaseDecision, release_obligations
+from repro.policy.content import ContentPolicy, ContentPolicyRegistry
+from repro.policy.lint import LintFinding, lint_program, lint_source
+from repro.policy.sticky import (
+    combined_sticky_guard,
+    sticky_obligations,
+    with_sticky_guard,
+)
+from repro.policy.unipro import NamedPolicy, UniProRegistry
+
+__all__ = [
+    "Literal",
+    "Rule",
+    "fact",
+    "REQUESTER",
+    "SELF",
+    "bind_pseudovars",
+    "bind_pseudovars_in_goals",
+    "mentions_pseudovars",
+    "ReleaseDecision",
+    "release_obligations",
+    "NamedPolicy",
+    "UniProRegistry",
+    "ContentPolicy",
+    "ContentPolicyRegistry",
+    "LintFinding",
+    "lint_program",
+    "lint_source",
+    "with_sticky_guard",
+    "sticky_obligations",
+    "combined_sticky_guard",
+]

@@ -1,0 +1,219 @@
+"""Static analysis for PeerTrust programs.
+
+Encodes the authoring pitfalls that bite in practice (each was hit while
+transcribing the paper's scenarios):
+
+====  =========  ==========================================================
+code  severity   meaning
+====  =========  ==========================================================
+P001  error      unsafe rule: a head variable is not bound by any positive
+                 body literal — answers would be non-ground
+P002  warning    comparison/arith goal whose variables no positive body
+                 literal can bind — flounders even after reordering
+P003  warning    negated goal with a variable no positive literal binds —
+                 negation-as-failure would flounder
+P004  warning    local body predicate never defined in this program (and
+                 not a builtin) — the goal can only fail; goals with
+                 authority chains are excused (they resolve remotely or
+                 from credentials)
+P005  info       predicate is derivable but has no release policy and no
+                 public rule: its conclusions can never be shared (this is
+                 the secure default — flagged so it is a decision, not an
+                 accident)
+P006  error      signed rule whose head names a different innermost
+                 authority than its signer — such a credential can never
+                 vouch for anything
+P007  error      program is not stratifiable (negation inside a cycle)
+P008  warning    release policy guard never mentions ``Requester`` — it
+                 grants identically to every peer; write ``$ true`` if
+                 that is the intent
+P009  warning    head variable bound only by builtin/negated goals: the
+                 rule answers caller-bound queries only (signed credential
+                 templates are exempt — that is their normal shape)
+====  =========  ==========================================================
+
+:func:`lint_program` returns findings sorted by position; the CLI surfaces
+them via ``peertrust lint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.builtins import DEFAULT_REGISTRY, BuiltinRegistry
+from repro.datalog.stratify import is_stratified
+from repro.datalog.terms import Constant, Variable, variables_in
+from repro.policy.pseudovars import REQUESTER, SELF
+
+SEVERITIES = {"error": 0, "warning": 1, "info": 2}
+
+
+@dataclass(frozen=True, slots=True)
+class LintFinding:
+    code: str
+    severity: str
+    message: str
+    rule: Optional[str] = None  # rendered rule text, when rule-specific
+
+    def __str__(self) -> str:
+        location = f"\n    in: {self.rule}" if self.rule else ""
+        return f"{self.code} [{self.severity}] {self.message}{location}"
+
+
+def _positive_body_vars(rule: Rule,
+                        registry: BuiltinRegistry) -> set[Variable]:
+    bound: set[Variable] = set()
+    for goal in rule.body:
+        if goal.negated or goal.is_comparison or registry.is_builtin(goal.indicator):
+            continue
+        bound |= goal.variables()
+    return bound
+
+
+def lint_program(
+    rules: Iterable[Rule],
+    registry: Optional[BuiltinRegistry] = None,
+) -> list[LintFinding]:
+    """Analyse a program; returns findings ordered by severity then code."""
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    rule_list = list(rules)
+    findings: list[LintFinding] = []
+    pseudovars = {REQUESTER, SELF}
+
+    defined = {rule.head.indicator for rule in rule_list}
+    has_release: set[tuple[str, int]] = set()
+    has_public_rule: set[tuple[str, int]] = set()
+
+    for rule in rule_list:
+        text = str(rule)
+        bound = _positive_body_vars(rule, registry) | pseudovars
+
+        # P001/P009: unsafe heads.  A head variable bound by no positive
+        # literal is an error when it appears nowhere in the body at all;
+        # when it appears only in builtins/negation the rule is usable for
+        # caller-bound queries only (P009) — the standard shape of signed
+        # credential templates, which are therefore exempt.
+        if rule.body:
+            all_body_vars: set[Variable] = set()
+            for goal in rule.body:
+                all_body_vars |= goal.variables()
+            unbound_head = rule.head.variables() - bound
+            for variable in sorted(unbound_head, key=lambda v: v.name):
+                if variable in pseudovars:
+                    continue
+                if variable not in all_body_vars:
+                    findings.append(LintFinding(
+                        "P001", "error",
+                        f"head variable {variable.name} appears nowhere in "
+                        f"the body; answers would be non-ground", text))
+                elif not rule.is_signed:
+                    findings.append(LintFinding(
+                        "P009", "warning",
+                        f"head variable {variable.name} is bound only by "
+                        f"builtin/negated goals; the rule answers only "
+                        f"caller-bound queries", text))
+        elif not rule.is_release_policy and rule.head.variables() - pseudovars:
+            if not rule.is_signed:
+                findings.append(LintFinding(
+                    "P001", "error",
+                    "fact with free variables; facts must be ground", text))
+
+        # P002 / P003: floundering goals — their variables must be bindable
+        # by some positive literal (reordering can defer them that far, but
+        # no further).
+        for goal in rule.body:
+            goal_vars = goal.variables() - pseudovars
+            if goal.is_comparison or registry.is_builtin(goal.indicator):
+                if goal_vars - bound:
+                    findings.append(LintFinding(
+                        "P002", "warning",
+                        f"builtin goal '{goal}' has variables no positive "
+                        f"literal can bind; it will flounder", text))
+            elif goal.negated and goal_vars - bound:
+                findings.append(LintFinding(
+                    "P003", "warning",
+                    f"negated goal '{goal}' has variables no positive "
+                    f"literal binds; negation would flounder", text))
+
+        # P004: undefined local predicates.
+        for goal in rule.body:
+            if goal.authority:
+                continue  # resolves remotely / via credentials
+            if goal.is_comparison or registry.is_builtin(goal.indicator):
+                continue
+            indicator = goal.positive().indicator
+            if indicator not in defined:
+                findings.append(LintFinding(
+                    "P004", "warning",
+                    f"body goal '{goal}' references {indicator[0]}/"
+                    f"{indicator[1]}, which no rule in this program defines",
+                    text))
+
+        # P006: credentials that cannot vouch.
+        if rule.is_signed and rule.head.authority:
+            innermost = rule.head.authority[0]
+            signer = rule.signers[0]
+            if (isinstance(innermost, Constant) and isinstance(signer, Constant)
+                    and innermost.value != signer.value):
+                findings.append(LintFinding(
+                    "P006", "error",
+                    f"signed by {signer} but the head's innermost authority "
+                    f"is {innermost}; this credential can never vouch", text))
+
+        # P008: requester-blind guards.
+        if rule.is_release_policy and rule.guard:
+            guard_vars = set()
+            for goal in rule.guard:
+                guard_vars |= goal.variables()
+            if REQUESTER not in guard_vars:
+                findings.append(LintFinding(
+                    "P008", "warning",
+                    "release guard never mentions Requester; it grants "
+                    "identically to every peer (use `$ true` if intended)",
+                    text))
+
+        if rule.is_release_policy:
+            has_release.add(rule.head.indicator)
+        if rule.is_public:
+            has_public_rule.add(rule.head.indicator)
+
+    # P005: derivable-but-never-shareable predicates (one finding each).
+    private_indicators = sorted(
+        {rule.head.indicator for rule in rule_list
+         if not rule.is_release_policy and not rule.is_signed}
+        - has_release - has_public_rule)
+    for name, arity in private_indicators:
+        findings.append(LintFinding(
+            "P005", "info",
+            f"{name}/{arity} is derivable but has no release policy and no "
+            f"public rule: its conclusions can never be shared directly "
+            f"(the secure default)"))
+
+    # P007: stratification.
+    if not is_stratified(rule_list):
+        findings.append(LintFinding(
+            "P007", "error",
+            "program uses negation inside a dependency cycle and cannot "
+            "be stratified"))
+
+    findings.sort(key=lambda f: (SEVERITIES[f.severity], f.code, f.rule or ""))
+    # De-duplicate identical findings (same rule can trip a check twice).
+    unique: list[LintFinding] = []
+    for finding in findings:
+        if finding not in unique:
+            unique.append(finding)
+    return unique
+
+
+def lint_source(source: str,
+                registry: Optional[BuiltinRegistry] = None) -> list[LintFinding]:
+    from repro.datalog.parser import parse_program
+
+    return lint_program(parse_program(source), registry)
+
+
+def worst_severity(findings: Iterable[LintFinding]) -> Optional[str]:
+    ranked = sorted(findings, key=lambda f: SEVERITIES[f.severity])
+    return ranked[0].severity if ranked else None

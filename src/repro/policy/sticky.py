@@ -1,0 +1,73 @@
+"""Sticky policies: release contexts that travel with disclosed statements.
+
+§3.1: "sticky policies can be implemented by leaving contexts attached to
+literals and rules in messages and defining how to propagate contexts
+across modus ponens, so that a peer can control further dissemination of
+its released information in a non-adversarial environment."
+
+This module implements that optional mechanism.  With
+``Peer(sticky_policies=True)``:
+
+- **attachment** — when the peer discloses one of its own credentials, the
+  guard of the authorising release policy rides along (with ``Requester``
+  left symbolic, so each downstream hop re-instantiates it);
+- **forwarding enforcement** — before re-disclosing a *received* credential
+  that carries a sticky guard, a sticky-aware peer proves the guard for the
+  new recipient (default-mode peers forward freely, as in the base paper);
+- **propagation across modus ponens** — an answer whose proof consumed
+  sticky-guarded credentials inherits the union of those guards on its
+  answer credential, and the answering peer proves them for the requester
+  before sending.
+
+The mechanism is cooperative ("non-adversarial environment"): guards are
+holder-side metadata, not covered by the issuer's signature.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+from repro.credentials.credential import Credential
+from repro.datalog.ast import Literal
+from repro.datalog.sld import canonical_literal
+from repro.policy.pseudovars import bind_pseudovars_in_goals
+
+StickyGuard = tuple[Literal, ...]
+
+
+def with_sticky_guard(credential: Credential,
+                      guard: StickyGuard) -> Credential:
+    """A copy of ``credential`` carrying ``guard`` as its sticky context."""
+    return dataclasses.replace(credential, sticky_guard=tuple(guard))
+
+
+def sticky_obligations(credential: Credential, requester: str,
+                       self_name: str) -> Optional[StickyGuard]:
+    """The goals a holder must prove before passing ``credential`` to
+    ``requester``; ``None`` when the credential carries no sticky context."""
+    if credential.sticky_guard is None:
+        return None
+    return bind_pseudovars_in_goals(
+        tuple(credential.sticky_guard), requester, self_name)
+
+
+def combined_sticky_guard(
+    credentials: Iterable[Credential],
+) -> Optional[StickyGuard]:
+    """The union (deduplicated conjunction) of the sticky guards of all
+    given credentials — the modus-ponens propagation rule.  ``None`` when
+    no input carries a guard."""
+    seen: set[tuple] = set()
+    combined: list[Literal] = []
+    found = False
+    for credential in credentials:
+        if credential.sticky_guard is None:
+            continue
+        found = True
+        for goal in credential.sticky_guard:
+            key = canonical_literal(goal)
+            if key not in seen:
+                seen.add(key)
+                combined.append(goal)
+    return tuple(combined) if found else None

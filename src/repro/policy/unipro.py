@@ -1,0 +1,130 @@
+"""UniPro-style policy protection: named policies with their own policies.
+
+§2 ("Sensitive policies"): the protection scheme "gives (opaque) names to
+policies and allows any named policy P1 to have its own policy P2, meaning
+that the contents of P1 can only be disclosed to parties who have shown
+that they satisfy P2".
+
+In PeerTrust programs, a named policy is just a predicate (``policy27``,
+``policy49``, ``freebieEligible``) whose defining rules stay private by
+default (rule context ``Requester = Self``).  The :class:`UniProRegistry`
+adds the disclosure side: it records which predicate names are *named
+policies*, which guard protects each definition, and hands out the defining
+rules (contexts stripped) to requesters who satisfy the guard — this is how
+"ELENA member companies can disseminate the definition of freebieEligible
+to their employees" (§4.2) works.
+
+Definitions may refer to other policy names; :meth:`UniProRegistry.validate`
+checks the reference graph is closed and acyclic in protection terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.knowledge import KnowledgeBase
+from repro.errors import PolicyError
+
+Indicator = tuple[str, int]
+
+
+@dataclass(frozen=True, slots=True)
+class NamedPolicy:
+    """A protected, named policy.
+
+    ``name`` is the opaque predicate name; ``definition`` its rules;
+    ``protection`` the guard literals a requester must satisfy before the
+    definition is disclosed (``()`` = public definition, ``None`` = never
+    disclosed)."""
+
+    name: str
+    definition: tuple[Rule, ...]
+    protection: Optional[tuple[Literal, ...]] = None
+
+    @property
+    def is_disclosable(self) -> bool:
+        return self.protection is not None
+
+    def disclosed_rules(self) -> tuple[Rule, ...]:
+        """The definition as shipped: contexts stripped (§3.1)."""
+        return tuple(rule.strip_contexts() for rule in self.definition)
+
+
+class UniProRegistry:
+    """A peer's catalogue of named policies."""
+
+    def __init__(self) -> None:
+        self._policies: dict[str, NamedPolicy] = {}
+
+    def register(
+        self,
+        name: str,
+        definition: Iterable[Rule],
+        protection: Optional[Iterable[Literal]] = None,
+    ) -> NamedPolicy:
+        """Register ``name``; all definition rules must define ``name``."""
+        rules = tuple(definition)
+        if not rules:
+            raise PolicyError(f"named policy {name!r} has an empty definition")
+        for rule in rules:
+            if rule.head.predicate != name:
+                raise PolicyError(
+                    f"rule {rule} does not define named policy {name!r}")
+        policy = NamedPolicy(name, rules,
+                             None if protection is None else tuple(protection))
+        self._policies[name] = policy
+        return policy
+
+    def register_from_kb(
+        self,
+        kb: KnowledgeBase,
+        name: str,
+        arity: int,
+        protection: Optional[Iterable[Literal]] = None,
+    ) -> NamedPolicy:
+        """Lift an existing predicate's rules out of a KB as a named policy."""
+        rules = [r for r in kb.content_rules() if r.head.indicator == (name, arity)]
+        if not rules:
+            raise PolicyError(f"no rules define {name}/{arity} in this KB")
+        return self.register(name, rules, protection)
+
+    def get(self, name: str) -> NamedPolicy:
+        policy = self._policies.get(name)
+        if policy is None:
+            raise PolicyError(f"unknown named policy {name!r}")
+        return policy
+
+    def knows(self, name: str) -> bool:
+        return name in self._policies
+
+    def names(self) -> list[str]:
+        return sorted(self._policies)
+
+    def protection_goals(self, name: str) -> Optional[tuple[Literal, ...]]:
+        """What a requester must prove to see ``name``'s definition; ``None``
+        means the definition is never disclosed."""
+        return self.get(name).protection
+
+    def validate(self) -> None:
+        """Check that policy-name references inside definitions resolve, and
+        that protection chains (P1 protected by P2 protected by ...) are
+        acyclic."""
+        for policy in self._policies.values():
+            for goal in policy.protection or ():
+                referenced = goal.positive().predicate
+                if referenced in self._policies:
+                    self._check_protection_cycle(policy.name, referenced, {policy.name})
+
+    def _check_protection_cycle(self, origin: str, current: str,
+                                seen: set[str]) -> None:
+        if current in seen:
+            raise PolicyError(
+                f"named policy {origin!r} has a cyclic protection chain "
+                f"through {current!r}")
+        seen.add(current)
+        for goal in self._policies[current].protection or ():
+            referenced = goal.positive().predicate
+            if referenced in self._policies:
+                self._check_protection_cycle(origin, referenced, seen)

@@ -1,0 +1,33 @@
+"""Minimal RDF layer.
+
+PeerTrust 1.0 "imports RDF metadata to represent policies for access to
+resources" (§6), and Edutella peers manage "distributed resources described
+by RDF metadata" (§1).  This package provides the same round trip:
+
+- :mod:`repro.rdf.ntriples` — an N-Triples parser and serialiser
+  (IRIs, blank nodes, plain/typed/language-tagged literals);
+- :mod:`repro.rdf.mapping` — triples ↔ Datalog facts, in both the
+  ``triple(S, P, O)`` reified style and the binary-predicate style
+  (``price(S, O)``) that scenario programs use.
+"""
+
+from repro.rdf.ntriples import (
+    BlankNode,
+    IRI,
+    PlainLiteral,
+    Triple,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from repro.rdf.mapping import facts_from_triples, triples_from_facts
+
+__all__ = [
+    "IRI",
+    "BlankNode",
+    "PlainLiteral",
+    "Triple",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "facts_from_triples",
+    "triples_from_facts",
+]

@@ -1,0 +1,114 @@
+"""Mapping RDF triples to Datalog facts and back.
+
+Two styles are supported:
+
+- **reified**: every triple becomes ``triple(S, P, O)`` — lossless,
+  queryable generically;
+- **binary**: a triple ``<s> <ns#price> "1000"^^xsd:integer`` becomes
+  ``price(s, 1000)`` — the style PeerTrust programs actually use, with the
+  predicate name taken from the IRI fragment (or last path segment).
+
+IRIs map to quoted string constants (their full text) unless the local-name
+shortening option is on, in which case the fragment is used (matching how
+the paper writes ``cs101`` rather than a full IRI).  Numeric XSD literals
+become numbers; everything else becomes a quoted string.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.terms import Constant, Term
+from repro.errors import RDFError
+from repro.rdf.ntriples import IRI, BlankNode, Object, PlainLiteral, Subject, Triple
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+_NUMERIC_TYPES = {
+    _XSD + "integer", _XSD + "int", _XSD + "long", _XSD + "short",
+    _XSD + "decimal", _XSD + "double", _XSD + "float",
+}
+
+
+def local_name(iri: IRI) -> str:
+    """The fragment of an IRI, or its last path segment."""
+    value = iri.value
+    if "#" in value:
+        return value.rsplit("#", 1)[1]
+    return value.rstrip("/").rsplit("/", 1)[-1]
+
+
+def _node_to_term(node: Subject | Object, shorten: bool) -> Term:
+    if isinstance(node, IRI):
+        text = local_name(node) if shorten else node.value
+        return Constant(text, quoted=not shorten or not text.isidentifier())
+    if isinstance(node, BlankNode):
+        return Constant(f"_:{node.label}", quoted=True)
+    assert isinstance(node, PlainLiteral)
+    if node.datatype is not None and node.datatype.value in _NUMERIC_TYPES:
+        try:
+            if node.datatype.value in (_XSD + "decimal", _XSD + "double", _XSD + "float"):
+                return Constant(float(node.lexical))
+            return Constant(int(node.lexical))
+        except ValueError as error:
+            raise RDFError(
+                f"literal {node.lexical!r} does not match its numeric "
+                f"datatype {node.datatype.value}") from error
+    return Constant(node.lexical, quoted=True)
+
+
+def facts_from_triples(
+    triples: Iterable[Triple],
+    style: str = "binary",
+    shorten_iris: bool = True,
+) -> list[Rule]:
+    """Convert triples to fact rules.
+
+    ``style='binary'`` produces ``localname(S, O)`` facts; ``style='reified'``
+    produces ``triple(S, P, O)`` facts.
+    """
+    if style not in ("binary", "reified"):
+        raise ValueError(f"unknown mapping style {style!r}")
+    facts: list[Rule] = []
+    for triple in triples:
+        subject = _node_to_term(triple.subject, shorten_iris)
+        obj = _node_to_term(triple.object, shorten_iris)
+        if style == "binary":
+            predicate = local_name(triple.predicate)
+            if not predicate or not (predicate[0].isalpha() and predicate[0].islower()):
+                # Normalise awkward names (e.g. "Type") to valid predicates.
+                predicate = "p_" + predicate.lower() if predicate else "p_blank"
+            head = Literal(predicate, (subject, obj))
+        else:
+            predicate_term = _node_to_term(triple.predicate, shorten_iris)
+            head = Literal("triple", (subject, predicate_term, obj))
+        facts.append(Rule(head))
+    return facts
+
+
+def triples_from_facts(
+    rules: Iterable[Rule],
+    namespace: str = "http://example.org/peertrust#",
+) -> list[Triple]:
+    """Convert binary ground facts back to triples (inverse of the binary
+    mapping, up to IRI shortening)."""
+    triples: list[Triple] = []
+    for rule in rules:
+        if not rule.is_fact or rule.head.arity != 2 or not rule.head.is_ground():
+            continue
+        subject_term, object_term = rule.head.args
+        if not isinstance(subject_term, Constant) or not isinstance(object_term, Constant):
+            continue
+        subject = IRI(namespace + str(subject_term.value))
+        predicate = IRI(namespace + rule.head.predicate)
+        obj: Object
+        if object_term.is_number:
+            datatype = IRI(_XSD + ("double" if isinstance(object_term.value, float)
+                                   else "integer"))
+            obj = PlainLiteral(str(object_term.value), datatype=datatype)
+        elif object_term.quoted:
+            obj = PlainLiteral(str(object_term.value))
+        else:
+            obj = IRI(namespace + str(object_term.value))
+        triples.append(Triple(subject, predicate, obj))
+    return triples

@@ -1,0 +1,199 @@
+"""N-Triples parsing and serialisation.
+
+Implements the line-oriented N-Triples grammar: one triple per line,
+``<IRI>``, ``_:blank`` nodes, and literals with optional language tags or
+datatype IRIs.  Comments (``#``) and blank lines are skipped.  This is the
+interchange format the RDF→facts mapping consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from repro.errors import RDFError
+
+
+@dataclass(frozen=True, slots=True)
+class IRI:
+    value: str
+
+    def __str__(self) -> str:
+        return f"<{self.value}>"
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode:
+    label: str
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True, slots=True)
+class PlainLiteral:
+    lexical: str
+    language: Optional[str] = None
+    datatype: Optional[IRI] = None
+
+    def __post_init__(self) -> None:
+        if self.language is not None and self.datatype is not None:
+            raise RDFError("a literal cannot carry both language and datatype")
+
+    def __str__(self) -> str:
+        escaped = (self.lexical.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t"))
+        text = f'"{escaped}"'
+        if self.language:
+            text += f"@{self.language}"
+        elif self.datatype:
+            text += f"^^{self.datatype}"
+        return text
+
+
+Subject = Union[IRI, BlankNode]
+Object = Union[IRI, BlankNode, PlainLiteral]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    subject: Subject
+    predicate: IRI
+    object: Object
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.predicate} {self.object} ."
+
+
+class _LineParser:
+    """Cursor-based parser for a single N-Triples line."""
+
+    def __init__(self, line: str, line_number: int) -> None:
+        self.line = line
+        self.pos = 0
+        self.line_number = line_number
+
+    def error(self, message: str) -> RDFError:
+        return RDFError(f"line {self.line_number}: {message}")
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line)
+
+    def expect(self, char: str) -> None:
+        if self.at_end() or self.line[self.pos] != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def parse_iri(self) -> IRI:
+        self.expect("<")
+        end = self.line.find(">", self.pos)
+        if end < 0:
+            raise self.error("unterminated IRI")
+        value = self.line[self.pos:end]
+        self.pos = end + 1
+        return IRI(value)
+
+    def parse_blank(self) -> BlankNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while (self.pos < len(self.line)
+               and (self.line[self.pos].isalnum() or self.line[self.pos] in "-_")):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("empty blank node label")
+        return BlankNode(self.line[start:self.pos])
+
+    def parse_literal(self) -> PlainLiteral:
+        self.expect('"')
+        chars: list[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated literal")
+            char = self.line[self.pos]
+            if char == "\\":
+                self.pos += 1
+                if self.at_end():
+                    raise self.error("dangling escape")
+                escape = self.line[self.pos]
+                mapping = {"n": "\n", "t": "\t", "r": "\r",
+                           '"': '"', "\\": "\\"}
+                if escape not in mapping:
+                    raise self.error(f"unknown escape \\{escape}")
+                chars.append(mapping[escape])
+                self.pos += 1
+            elif char == '"':
+                self.pos += 1
+                break
+            else:
+                chars.append(char)
+                self.pos += 1
+        lexical = "".join(chars)
+        if self.pos < len(self.line) and self.line[self.pos] == "@":
+            self.pos += 1
+            start = self.pos
+            while (self.pos < len(self.line)
+                   and (self.line[self.pos].isalnum() or self.line[self.pos] == "-")):
+                self.pos += 1
+            if self.pos == start:
+                raise self.error("empty language tag")
+            return PlainLiteral(lexical, language=self.line[start:self.pos])
+        if self.line.startswith("^^", self.pos):
+            self.pos += 2
+            return PlainLiteral(lexical, datatype=self.parse_iri())
+        return PlainLiteral(lexical)
+
+    def parse_subject(self) -> Subject:
+        if self.at_end():
+            raise self.error("missing subject")
+        if self.line[self.pos] == "<":
+            return self.parse_iri()
+        if self.line[self.pos] == "_":
+            return self.parse_blank()
+        raise self.error("subject must be an IRI or blank node")
+
+    def parse_object(self) -> Object:
+        if self.at_end():
+            raise self.error("missing object")
+        char = self.line[self.pos]
+        if char == "<":
+            return self.parse_iri()
+        if char == "_":
+            return self.parse_blank()
+        if char == '"':
+            return self.parse_literal()
+        raise self.error("object must be an IRI, blank node, or literal")
+
+    def parse_triple(self) -> Triple:
+        self.skip_whitespace()
+        subject = self.parse_subject()
+        self.skip_whitespace()
+        predicate = self.parse_iri()
+        self.skip_whitespace()
+        obj = self.parse_object()
+        self.skip_whitespace()
+        self.expect(".")
+        self.skip_whitespace()
+        if not self.at_end():
+            raise self.error("trailing content after '.'")
+        return Triple(subject, predicate, obj)
+
+
+def parse_ntriples(text: str) -> list[Triple]:
+    """Parse an N-Triples document."""
+    triples: list[Triple] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        triples.append(_LineParser(line, line_number).parse_triple())
+    return triples
+
+
+def serialize_ntriples(triples: Iterator[Triple] | list[Triple]) -> str:
+    """Serialise triples back to N-Triples text (one per line)."""
+    return "\n".join(str(triple) for triple in triples) + "\n"

@@ -1,0 +1,37 @@
+"""The paper's worked scenarios, transcribed as runnable worlds.
+
+- :mod:`repro.scenarios.elearn` — §4.1, Alice & E-Learn (discount
+  enrollment via ELENA preferred-customer status, UIUC registrar
+  delegation, BBB-gated release; plus the §3.1 free police enrollment);
+- :mod:`repro.scenarios.services` — §4.2, Bob / IBM / VISA (free courses
+  for ELENA members' employees, pay-per-use purchase with credit card and
+  revocation check, policy protection, authority brokering);
+- :mod:`repro.scenarios.grid` — the grid delegation sketch the paper points
+  to (§6 / reference [1]): a handheld delegating negotiation to a trusted
+  home peer.
+
+Each module exposes ``build_*()`` returning a scenario object with the
+world and the named peers, plus ``run_*()`` helpers performing the paper's
+negotiations.
+"""
+
+from repro.scenarios.elearn import Scenario1, build_scenario1
+from repro.scenarios.services import Scenario2, build_scenario2
+from repro.scenarios.grid import GridScenario, build_grid_scenario
+from repro.scenarios.elena_network import (
+    ElenaNetwork,
+    build_elena_network,
+    enroll_everywhere,
+)
+
+__all__ = [
+    "Scenario1",
+    "build_scenario1",
+    "Scenario2",
+    "build_scenario2",
+    "GridScenario",
+    "build_grid_scenario",
+    "ElenaNetwork",
+    "build_elena_network",
+    "enroll_everywhere",
+]

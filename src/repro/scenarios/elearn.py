@@ -1,0 +1,132 @@
+"""Scenario 1 (§4.1): Alice & E-Learn.
+
+Cast:
+
+- **E-Learn** — sells learning resources; discounts for ELENA preferred
+  customers; free Spanish courses for California police officers (§3.1).
+- **Alice** — a UIUC student (ID signed by the UIUC Registrar, plus the
+  signed delegation rule from UIUC) and a California police officer (badge
+  signed by CSP).  Her release policy: student/badge credentials go only to
+  requesters who prove Better Business Bureau membership.
+- Issuers (sign credentials, answer no queries): **UIUC**, **UIUC
+  Registrar**, **ELENA**, **BBB**, **CSP**.
+
+The programs below are the paper's, with three additions the paper leaves
+implicit ("appropriate release policy (not shown)"):
+
+1. ``course/1`` facts — a course catalogue, so answers are ground
+   (Datalog safety; the paper's ``eligibleForDiscount`` leaves Course free);
+2. E-Learn's release policy for its BBB membership credential;
+3. Alice's release policy for her police badge (same BBB guard as her
+   student credentials).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.parser import parse_literal
+from repro.negotiation.peer import Peer
+from repro.negotiation.result import NegotiationResult
+from repro.negotiation.strategies import negotiate
+from repro.world import World
+
+ELEARN_PROGRAM = """
+% Release policy for the discount service: only the enrolling party may
+% learn the outcome (paper, 4.1).
+discountEnroll(Course, Party) $ Requester = Party <- discountEnroll(Course, Party).
+discountEnroll(Course, Party) <- eligibleForDiscount(Party, Course).
+eligibleForDiscount(X, Course) <- course(Course), preferred(X) @ "ELENA".
+
+% Evaluation hint (paper, 4.1): ask students to prove their own status.
+student(X) @ University <- student(X) @ University @ X.
+
+% Free enrollment for California police officers (paper, 3.1).
+freeEnroll(Course, Requester) $ true <-
+    policeOfficer(Requester) @ "CSP" @ Requester,
+    spanishCourse(Course).
+
+% Course catalogue.
+course(spanish205).
+course(french101).
+spanishCourse(spanish205).
+
+% Release policy for E-Learn's own BBB membership credential (implied by
+% the paper: "E-Learn is a member of the Better Business Bureau, and can
+% prove it through an appropriate release policy (not shown)").
+member(X) @ "BBB" $ true <-{true} member(X) @ "BBB".
+"""
+
+ELEARN_CREDENTIALS = """
+% ELENA's signed definition of preferred status (paper, 4.1).
+preferred(X) @ "ELENA" <- signedBy ["ELENA"] student(X) @ "UIUC".
+
+% E-Learn's BBB membership (paper, 4.1).
+member("E-Learn") @ "BBB" signedBy ["BBB"].
+"""
+
+ALICE_PROGRAM = """
+% Alice's (publicly releasable) release policy: student credentials go to
+% proven BBB members only (paper, 4.1).
+student(X) @ Y $ member(Requester) @ "BBB" @ Requester <-{true} student(X) @ Y.
+
+% Release policy for her police badge (implied; same BBB guard).
+policeOfficer(X) @ Y $ member(Requester) @ "BBB" @ Requester <-{true}
+    policeOfficer(X) @ Y.
+"""
+
+ALICE_CREDENTIALS = """
+% Her student ID, signed by the registrar...
+student("Alice") @ "UIUC Registrar" signedBy ["UIUC Registrar"].
+
+% ...plus the delegation rule UIUC gave the registrar (paper, 3.1):
+% students cache and submit both.
+student(X) @ "UIUC" <- signedBy ["UIUC"] student(X) @ "UIUC Registrar".
+
+% Her police badge (paper, 1 & 3.1).
+policeOfficer("Alice") signedBy ["CSP"].
+"""
+
+ISSUERS = ("UIUC", "UIUC Registrar", "ELENA", "BBB", "CSP")
+
+
+@dataclass
+class Scenario1:
+    """The built world plus its named participants."""
+
+    world: World
+    alice: Peer
+    elearn: Peer
+
+    @property
+    def transport(self):
+        return self.world.transport
+
+
+def build_scenario1(key_bits: int = 512, **peer_options) -> Scenario1:
+    """Construct the §4.1 world."""
+    world = World(key_bits=key_bits)
+    for issuer in ISSUERS:
+        world.issuer(issuer)
+    elearn = world.add_peer("E-Learn", ELEARN_PROGRAM, **peer_options)
+    alice = world.add_peer("Alice", ALICE_PROGRAM, **peer_options)
+    world.distribute_keys()
+    world.give_credentials("E-Learn", ELEARN_CREDENTIALS)
+    world.give_credentials("Alice", ALICE_CREDENTIALS)
+    return Scenario1(world, alice, elearn)
+
+
+def run_discount_negotiation(scenario: Scenario1,
+                             strategy: str = "parsimonious") -> NegotiationResult:
+    """Alice requests the discounted enrollment (the paper's claim: "Alice
+    will be able to access the discounted enrollment service")."""
+    goal = parse_literal('discountEnroll(Course, "Alice")')
+    return negotiate(scenario.alice, "E-Learn", goal, strategy=strategy)
+
+
+def run_free_police_enrollment(scenario: Scenario1,
+                               strategy: str = "parsimonious") -> NegotiationResult:
+    """Alice enrolls in the free Spanish course using her police badge
+    (§1/§3.1), disclosing it only because E-Learn proves BBB membership."""
+    goal = parse_literal('freeEnroll(Course, "Alice")')
+    return negotiate(scenario.alice, "E-Learn", goal, strategy=strategy)

@@ -1,0 +1,189 @@
+"""A composed ELENA learning network (§1's deployment context, end to end).
+
+The paper situates PeerTrust inside the EU/IST ELENA project: "e-learning
+and e-training companies, learning technology providers, and several
+universities" connected over Edutella.  This scenario composes every
+substrate of the reproduction into one network:
+
+- three course providers with RDF-imported catalogues and different access
+  policies (free for consortium students, employer-paid, public teasers);
+- a university + registrar delegation chain issuing student credentials;
+- the ELENA consortium as membership issuer;
+- an authority broker for billing approvals, and a VISA authority peer;
+- a super-peer topology carrying all traffic, with topic routing indices
+  used for provider discovery;
+- learners who discover providers, negotiate enrollment, and receive
+  access tokens for repeat visits.
+
+``build_elena_network`` wires it; ``enroll_everywhere`` runs a learner's
+full discovery → negotiate → token loop and reports per-provider outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalog.parser import parse_literal
+from repro.negotiation.peer import Peer
+from repro.negotiation.strategies import negotiate
+from repro.negotiation.tokens import AccessToken, issue_token
+from repro.net.broker import BrokerDirectory
+from repro.net.superpeer import SuperPeerNetwork
+from repro.rdf.mapping import facts_from_triples
+from repro.rdf.ntriples import parse_ntriples
+from repro.world import World
+
+# RDF catalogues, one per provider (Edutella-style course metadata).
+CATALOGUES = {
+    "E-Learn": """
+<http://elearn.example/course/spanish205> <http://ns#price> "0"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://elearn.example/course/cs411> <http://ns#price> "1000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+""",
+    "EduSoft": """
+<http://edusoft.example/course/python101> <http://ns#price> "0"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://edusoft.example/course/ml500> <http://ns#price> "1500"^^<http://www.w3.org/2001/XMLSchema#integer> .
+""",
+    "UniCourses": """
+<http://unicourses.example/course/logic300> <http://ns#price> "0"^^<http://www.w3.org/2001/XMLSchema#integer> .
+""",
+}
+
+# Per-provider access policies over the shared catalogue schema.
+PROVIDER_POLICIES = {
+    # Free courses for consortium students; paid ones for authorised buyers.
+    "E-Learn": """
+        enroll(Course, Requester) $ true <-
+            price(Course, 0),
+            student(Requester) @ "UIUC" @ Requester,
+            member("UIUC") @ "ELENA" @ Requester.
+        enroll(Course, Requester) $ true <-
+            price(Course, P), P > 0,
+            authorized(Requester, P) @ Company @ Requester,
+            authority(purchaseApproved, Approver) @ "myBroker",
+            purchaseApproved(Company, P) @ Approver.
+        student(X) @ U <-{true} student(X) @ U @ X.
+    """,
+    # Employer-paid only.
+    "EduSoft": """
+        enroll(Course, Requester) $ true <-
+            price(Course, P),
+            authorized(Requester, P) @ Company @ Requester.
+    """,
+    # Open teasers: any requester gets free courses.
+    "UniCourses": """
+        enroll(Course, Requester) $ true <- price(Course, 0).
+    """,
+}
+
+VISA_PROGRAM = """
+purchaseApproved(Company, Price) <-
+    cardAccount(Company, Limit), Price <= Limit.
+cardAccount("IBM", 100000).
+purchaseApproved(C, P) $ true <-{true} purchaseApproved(C, P).
+"""
+
+ALICE_PROGRAM = """
+student(X) @ Y $ member(Requester) @ "ELENA" @ Requester <-{true}
+    student(X) @ Y.
+member(X) @ Y $ true <-{true} member(X) @ Y.
+"""
+
+ALICE_CREDENTIALS = """
+student("Alice") @ "Registrar" signedBy ["Registrar"].
+student(X) @ "UIUC" <- signedBy ["UIUC"] student(X) @ "Registrar".
+member("UIUC") @ "ELENA" signedBy ["ELENA"].
+"""
+
+BOB_PROGRAM = """
+authorized("Bob", Price) @ X $ true <-{true} authorized("Bob", Price) @ X.
+"""
+
+BOB_CREDENTIALS = """
+authorized("Bob", Price) @ "IBM" <- signedBy ["IBM"] Price < 2000.
+"""
+
+PROVIDER_MEMBERSHIPS = """
+member("{name}") @ "ELENA" signedBy ["ELENA"].
+"""
+
+ISSUERS = ("UIUC", "Registrar", "ELENA", "IBM")
+
+
+@dataclass
+class ElenaNetwork:
+    world: World
+    superpeers: SuperPeerNetwork
+    broker: BrokerDirectory
+    providers: dict[str, Peer]
+    alice: Peer
+    bob: Peer
+    visa: Peer
+
+
+@dataclass
+class EnrollmentOutcome:
+    provider: str
+    course: str
+    granted: bool
+    token: AccessToken | None = None
+
+
+def build_elena_network(key_bits: int = 512,
+                        superpeer_count: int = 4) -> ElenaNetwork:
+    world = World(key_bits=key_bits)
+    providers: dict[str, Peer] = {}
+    for name, policies in PROVIDER_POLICIES.items():
+        provider = world.add_peer(name, policies)
+        provider.kb.add_all(
+            facts_from_triples(parse_ntriples(CATALOGUES[name])))
+        providers[name] = provider
+        # Providers can prove their consortium membership on demand.
+        provider.load_program('member(X) @ "ELENA" $ true <-{true} '
+                              'member(X) @ "ELENA".')
+
+    visa = world.add_peer("VISA", VISA_PROGRAM)
+    alice = world.add_peer("Alice", ALICE_PROGRAM)
+    bob = world.add_peer("Bob", BOB_PROGRAM)
+    broker = BrokerDirectory.create(
+        world, directory={"purchaseApproved": "VISA"})
+
+    for issuer in ISSUERS:
+        world.issuer(issuer)
+    world.distribute_keys()
+
+    world.give_credentials("Alice", ALICE_CREDENTIALS)
+    world.give_credentials("Bob", BOB_CREDENTIALS)
+    for name in providers:
+        world.give_credentials(name, PROVIDER_MEMBERSHIPS.format(name=name))
+
+    superpeers = SuperPeerNetwork(world, superpeer_count=superpeer_count)
+    for name in providers:
+        superpeers.advertise(name, ["enroll"])
+    superpeers.advertise("VISA", ["purchaseApproved"])
+
+    return ElenaNetwork(world, superpeers, broker, providers,
+                        alice, bob, visa)
+
+
+def enroll_everywhere(network: ElenaNetwork, learner: Peer,
+                      course_of: dict[str, str]) -> list[EnrollmentOutcome]:
+    """Discover enrollment providers through the super-peer index and
+    negotiate with each; successful grants yield repeat-access tokens."""
+    outcomes = []
+    for provider_name in network.superpeers.locate("enroll",
+                                                   near=learner.name):
+        course = course_of.get(provider_name)
+        if course is None:
+            continue
+        goal = parse_literal(f'enroll({course}, "{learner.name}")')
+        result = negotiate(learner, provider_name, goal)
+        token = None
+        if result.granted:
+            provider = network.providers[provider_name]
+            token = issue_token(provider.keys, result.answered_literal,
+                                holder=learner.name, issued_at=0.0,
+                                ttl=3600.0)
+        outcomes.append(EnrollmentOutcome(
+            provider=provider_name, course=course,
+            granted=result.granted, token=token))
+    return outcomes

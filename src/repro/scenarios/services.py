@@ -1,0 +1,230 @@
+"""Scenario 2 (§4.2): Bob signing up for learning services.
+
+Cast:
+
+- **Bob** — works for IBM's HR department, authorised to buy courses up to
+  $2000, pays with the company VISA card.  Discloses his authorisation and
+  employment only to ELENA members; discusses the card only with ELENA
+  members who are VISA-authorised merchants (``policy27``).
+- **E-Learn** — offers free courses to employees of ELENA member companies
+  (``freebieEligible`` — a *private* rule) and pay-per-use courses gated by
+  ``policy49`` (company authorisation + company VISA card + optional
+  revocation check with VISA).
+- **VISA** — a live peer answering ``purchaseApproved`` queries from its
+  account database (the paper's "external function call to a VISA card
+  revocation authority", realised as a peer with its own program, including
+  negation-as-failure over ``revokedCard``).
+- **myBroker** — optional authority broker, for the paper's last
+  ``policy49`` variant (``authority(purchaseApproved, A) @ myBroker``).
+- Issuers: **IBM**, **ELENA** (VISA signs as itself).
+
+Additions the paper leaves implicit, marked "(implied)" below: release
+policies for Bob's email and cached membership credentials, E-Learn's
+release policies for its merchant/membership credentials, an ``email`` goal
+in the paid rule (the paper notes the Email head variable is "needed by
+those external functions"; binding it keeps answers ground), and VISA's
+account database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datalog.parser import parse_literal
+from repro.negotiation.peer import Peer
+from repro.negotiation.result import NegotiationResult
+from repro.negotiation.strategies import negotiate
+from repro.world import World
+
+BOB_PROGRAM = """
+email("Bob", "Bob@ibm.com").
+% (implied) Bob will tell counterparts his work email.
+email(X, E) $ true <-{true} email(X, E).
+
+% Employment and purchase authorisation: ELENA members only (paper, 4.2).
+employee("Bob") @ X $ member(Requester) @ "ELENA" <-{true} employee("Bob") @ X.
+authorized("Bob", Price) @ X $ member(Requester) @ "ELENA" <-{true}
+    authorized("Bob", Price) @ X.
+
+% How Bob checks ELENA membership: ask the requester to prove it (paper).
+member(Requester) @ "ELENA" <-{true} member(Requester) @ "ELENA" @ Requester.
+
+% The credit card: only for ELENA members who are VISA-authorised merchants.
+visaCard("IBM") $ policy27(Requester) <-{true} visaCard("IBM").
+policy27(Requester) <-
+    authorizedMerchant(Requester) @ "VISA" @ Requester,
+    member(Requester) @ "ELENA".
+
+% (implied) cached membership rules may be shown around.
+member(X) @ "ELENA" $ true <-{true} member(X) @ "ELENA".
+"""
+
+BOB_CREDENTIALS = """
+employee("Bob") @ "IBM" signedBy ["IBM"].
+authorized("Bob", Price) @ "IBM" <- signedBy ["IBM"] Price < 2000.
+visaCard("IBM") signedBy ["VISA"].
+% "From previous interactions, Bob also knows that IBM and E-Learn are
+% members of the ELENA consortium." (paper, 4.2)
+member("IBM") @ "ELENA" signedBy ["ELENA"].
+member("E-Learn") @ "ELENA" signedBy ["ELENA"].
+"""
+
+ELEARN_BASE_PROGRAM = """
+% Free and pay-per-use enrollment (paper, 4.2). Rule contexts are public
+% (the paper's arrow-subscript true).
+enroll(Course, Requester, Company, Email, 0) <-{true}
+    freeCourse(Course),
+    freebieEligible(Course, Requester, Company, Email).
+enroll(Course, Requester, Company, Email, Price) <-{true}
+    policy49(Course, Requester, Company, Price),
+    email(Requester, Email) @ Requester.
+
+% PRIVATE eligibility rule - default context, never shipped (paper:
+% "E-Learn's partner agreements and customer list are privileged business
+% information").
+freebieEligible(Course, Requester, Company, EMail) <-
+    email(Requester, EMail) @ Requester,
+    employee(Requester) @ Company @ Requester,
+    member(Company) @ "ELENA" @ Requester.
+
+% Course database (paper, 4.2).
+freeCourse(cs101).
+freeCourse(cs102).
+price(cs411, 1000).
+price(cs500, 5000).
+
+% (implied) E-Learn proves its own memberships on demand.
+member(X) @ "ELENA" $ true <-{true} member(X) @ "ELENA".
+authorizedMerchant(X) $ true <-{true} authorizedMerchant(X).
+"""
+
+POLICY49_PLAIN = """
+policy49(Course, Requester, Company, Price) <-{true}
+    price(Course, Price),
+    authorized(Requester, Price) @ Company @ Requester,
+    visaCard(Company) @ "VISA" @ Requester.
+"""
+
+POLICY49_REVOCATION = """
+policy49(Course, Requester, Company, Price) <-{true}
+    price(Course, Price),
+    authorized(Requester, Price) @ Company @ Requester,
+    visaCard(Company) @ "VISA" @ Requester,
+    purchaseApproved(Company, Price) @ "VISA".
+"""
+
+POLICY49_BROKER = """
+policy49(Course, Requester, Company, Price) <-{true}
+    price(Course, Price),
+    authorized(Requester, Price) @ Company @ Requester,
+    visaCard(Company) @ "VISA" @ Requester,
+    authority(purchaseApproved, Authority) @ "myBroker",
+    purchaseApproved(Company, Price) @ Authority.
+"""
+
+ELEARN_CREDENTIALS = """
+% Cached signed rules "to speed up negotiation" (paper, 4.2).
+member("IBM") @ "ELENA" signedBy ["ELENA"].
+member("E-Learn") @ "ELENA" signedBy ["ELENA"].
+authorizedMerchant("E-Learn") signedBy ["VISA"].
+"""
+
+VISA_PROGRAM = """
+% The revocation/approval authority (implied account database): a purchase
+% is approved when the account exists, the card is not revoked, and the
+% balance plus the purchase stays within the limit.
+purchaseApproved(Company, Price) <-
+    cardAccount(Company, Limit, Balance),
+    not revokedCard(Company),
+    Balance + Price <= Limit.
+
+cardAccount("IBM", 100000, 25000).
+
+% Approval statements go to authorised merchants only.
+purchaseApproved(C, P) $ authorizedMerchant(Requester) <-{true}
+    purchaseApproved(C, P).
+authorizedMerchant("E-Learn").
+"""
+
+BROKER_PROGRAM = """
+authority(purchaseApproved, "VISA").
+authority(P, A) $ true <-{true} authority(P, A).
+"""
+
+ISSUERS = ("IBM", "ELENA")
+
+
+@dataclass
+class Scenario2:
+    world: World
+    bob: Peer
+    elearn: Peer
+    visa: Peer
+    broker: Optional[Peer] = None
+
+    @property
+    def transport(self):
+        return self.world.transport
+
+
+def build_scenario2(
+    key_bits: int = 512,
+    revocation_check: bool = True,
+    use_broker: bool = False,
+    ibm_in_elena: bool = True,
+    **peer_options,
+) -> Scenario2:
+    """Construct the §4.2 world.
+
+    ``ibm_in_elena=False`` builds the paper's counterfactual: "If IBM were
+    not a member of ELENA, then IBM employees would not be eligible for free
+    courses, but Bob would be able to purchase courses for them".
+    """
+    world = World(key_bits=key_bits)
+    for issuer in ISSUERS:
+        world.issuer(issuer)
+
+    policy49 = POLICY49_BROKER if use_broker else (
+        POLICY49_REVOCATION if revocation_check else POLICY49_PLAIN)
+    elearn = world.add_peer("E-Learn", ELEARN_BASE_PROGRAM + policy49,
+                            **peer_options)
+    bob = world.add_peer("Bob", BOB_PROGRAM, **peer_options)
+    visa = world.add_peer("VISA", VISA_PROGRAM, **peer_options)
+    broker = world.add_peer("myBroker", BROKER_PROGRAM,
+                            **peer_options) if use_broker else None
+    world.distribute_keys()
+
+    bob_credentials = BOB_CREDENTIALS
+    elearn_credentials = ELEARN_CREDENTIALS
+    if not ibm_in_elena:
+        bob_credentials = "\n".join(
+            line for line in bob_credentials.splitlines()
+            if 'member("IBM")' not in line)
+        elearn_credentials = "\n".join(
+            line for line in elearn_credentials.splitlines()
+            if 'member("IBM")' not in line)
+    world.give_credentials("Bob", bob_credentials)
+    world.give_credentials("E-Learn", elearn_credentials)
+    return Scenario2(world, bob, elearn, visa, broker)
+
+
+def run_free_enrollment(scenario: Scenario2, course: str = "cs101",
+                        strategy: str = "parsimonious") -> NegotiationResult:
+    """Bob enrolls in a free course as an IBM (ELENA-member) employee."""
+    goal = parse_literal(
+        f'enroll({course}, "Bob", Company, Email, 0)')
+    return negotiate(scenario.bob, "E-Learn", goal, strategy=strategy)
+
+
+def run_paid_enrollment(scenario: Scenario2, course: str = "cs411",
+                        strategy: str = "parsimonious") -> NegotiationResult:
+    """Bob buys a pay-per-use course with the company card."""
+    goal = parse_literal(
+        f'enroll({course}, "Bob", "IBM", Email, Price)')
+    return negotiate(scenario.bob, "E-Learn", goal, strategy=strategy)
+
+
+def revoke_ibm_card(scenario: Scenario2) -> None:
+    """Flip VISA's database to consider IBM's card revoked."""
+    scenario.visa.kb.load('revokedCard("IBM").')

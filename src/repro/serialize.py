@@ -1,0 +1,204 @@
+"""JSON persistence for worlds, peers, credentials, and keys.
+
+A downstream deployment needs to save a configured peer (its program,
+wallet, and keys) and restore it later.  Everything serialises through
+stable textual forms:
+
+- rules and literals round-trip through the parser (``str(rule)`` is
+  re-parseable by construction — property-tested in the parser suite);
+- signatures and moduli are hex strings;
+- private keys are included **only** when ``include_private=True`` — the
+  default output is safe to share.
+
+Not serialised (documented limitations): external predicates (Python
+callables), query filters/hooks, UniPro/content-policy registries, and
+live transport state.  Reattach those after loading.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.credentials.credential import Credential
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.datalog.parser import parse_goals, parse_rule
+from repro.errors import PeerTrustError
+from repro.negotiation.peer import Peer
+from repro.world import World
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(PeerTrustError):
+    """Raised for malformed or incompatible persisted data."""
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+
+def public_key_to_dict(key: PublicKey) -> dict:
+    return {
+        "principal": key.principal,
+        "modulus": hex(key.rsa_key.modulus),
+        "exponent": key.rsa_key.exponent,
+    }
+
+
+def public_key_from_dict(data: dict) -> PublicKey:
+    return PublicKey(
+        data["principal"],
+        RSAPublicKey(int(data["modulus"], 16), int(data["exponent"])),
+    )
+
+
+def keypair_to_dict(keys: KeyPair, include_private: bool) -> dict:
+    payload = public_key_to_dict(keys.public)
+    if include_private:
+        payload["private"] = {
+            "exponent": hex(keys.private.exponent),
+            "prime_p": hex(keys.private.prime_p),
+            "prime_q": hex(keys.private.prime_q),
+        }
+    return payload
+
+
+def keypair_from_dict(data: dict) -> KeyPair:
+    public = public_key_from_dict(data)
+    private_data = data.get("private")
+    if private_data is None:
+        raise SerializationError(
+            f"no private key stored for {data.get('principal')!r}")
+    private = RSAPrivateKey(
+        modulus=public.rsa_key.modulus,
+        exponent=int(private_data["exponent"], 16),
+        prime_p=int(private_data["prime_p"], 16),
+        prime_q=int(private_data["prime_q"], 16),
+    )
+    return KeyPair(public.principal, public, private)
+
+
+# ---------------------------------------------------------------------------
+# Credentials
+# ---------------------------------------------------------------------------
+
+def credential_to_dict(credential: Credential) -> dict:
+    return {
+        "rule": str(credential.rule),
+        "signatures": [s.hex() for s in credential.signatures],
+        "serial": credential.serial,
+        "not_before": credential.not_before,
+        "not_after": credential.not_after,
+        "sticky_guard": (
+            [str(goal) for goal in credential.sticky_guard]
+            if credential.sticky_guard is not None else None),
+    }
+
+
+def credential_from_dict(data: dict) -> Credential:
+    try:
+        rule = parse_rule(data["rule"])
+    except PeerTrustError as error:
+        raise SerializationError(f"bad credential rule: {error}") from error
+    sticky_guard = data.get("sticky_guard")
+    return Credential(
+        rule=rule,
+        signatures=tuple(bytes.fromhex(s) for s in data["signatures"]),
+        serial=data["serial"],
+        not_before=data.get("not_before"),
+        not_after=data.get("not_after"),
+        sticky_guard=(
+            tuple(goal for text in sticky_guard for goal in parse_goals(text))
+            if sticky_guard is not None else None),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Peers
+# ---------------------------------------------------------------------------
+
+def peer_to_dict(peer: Peer, include_private: bool = False) -> dict:
+    return {
+        "name": peer.name,
+        "program": [str(rule) for rule in peer.kb.rules()],
+        "credentials": [credential_to_dict(c)
+                        for c in peer.credentials.credentials()],
+        "keys": keypair_to_dict(peer.keys, include_private),
+        "trusted_keys": [
+            public_key_to_dict(peer.keyring.get(principal))
+            for principal in peer.keyring.principals()
+        ],
+        "options": {
+            "max_depth": peer.max_depth,
+            "max_answers": peer.max_answers,
+            "max_nesting": peer.max_nesting,
+            "require_certified_answers": peer.require_certified_answers,
+            "answers_queries": peer.answers_queries,
+            "sticky_policies": peer.sticky_policies,
+        },
+    }
+
+
+def peer_from_dict(data: dict) -> Peer:
+    keys = keypair_from_dict(data["keys"])
+    peer = Peer(data["name"], keys=keys, **data.get("options", {}))
+    for rule_text in data.get("program", ()):
+        peer.kb.add(parse_rule(rule_text))
+    for key_data in data.get("trusted_keys", ()):
+        peer.trust_key(public_key_from_dict(key_data))
+    for credential_data in data.get("credentials", ()):
+        peer.hold_credential(credential_from_dict(credential_data))
+    return peer
+
+
+# ---------------------------------------------------------------------------
+# Worlds
+# ---------------------------------------------------------------------------
+
+def world_to_dict(world: World, include_private: bool = True) -> dict:
+    """Snapshot a whole world.  ``include_private`` defaults to True here —
+    a world snapshot is a backup, not a disclosure — but can be disabled to
+    produce a public topology description."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "key_bits": world.key_bits,
+        "issuers": {
+            name: keypair_to_dict(keys, include_private)
+            for name, keys in world.issuers.items()
+        },
+        "peers": [peer_to_dict(peer, include_private)
+                  for peer in world.peers.values()],
+    }
+
+
+def world_from_dict(data: dict) -> World:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {version!r} "
+            f"(this library writes {FORMAT_VERSION})")
+    world = World(key_bits=data.get("key_bits", 1024))
+    for name, key_data in data.get("issuers", {}).items():
+        world.issuers[name] = keypair_from_dict(key_data)
+    for peer_data in data.get("peers", ()):
+        peer = peer_from_dict(peer_data)
+        world.peers[peer.name] = peer
+        world.transport.register(peer)
+    return world
+
+
+def save_world(world: World, path: str | Path,
+               include_private: bool = True) -> None:
+    Path(path).write_text(
+        json.dumps(world_to_dict(world, include_private), indent=2))
+
+
+def load_world(path: str | Path) -> World:
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"not valid JSON: {error}") from error
+    return world_from_dict(data)

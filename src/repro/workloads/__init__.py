@@ -1,0 +1,47 @@
+"""Synthetic negotiation workloads and measurement helpers.
+
+The paper has no quantitative evaluation; these generators provide the
+parametric workloads that the benchmark suite (E4–E6, E9, E10) sweeps:
+
+- :func:`~repro.workloads.generator.build_delegation_chain` — delegation
+  chains of configurable length (E4);
+- :func:`~repro.workloads.generator.build_policy_tree` — policy trees of
+  configurable depth × branching (E5);
+- :func:`~repro.workloads.generator.build_alternating_chain` — bilateral
+  release dependencies of configurable depth, the strategy-comparison
+  workload (E6);
+- :func:`~repro.workloads.generator.build_peer_ring` — n-peer vouching
+  rings (E9);
+- :func:`~repro.workloads.generator.build_cyclic_release` /
+  :func:`~repro.workloads.generator.build_divergent_world` — negotiations
+  with no safe disclosure sequence, for termination testing (E10);
+- :mod:`repro.workloads.metrics` — one-call measurement of a negotiation's
+  messages, bytes, simulated latency, and wall time.
+"""
+
+from repro.workloads.generator import (
+    Workload,
+    build_alternating_chain,
+    build_cyclic_release,
+    build_delegation_chain,
+    build_divergent_world,
+    build_peer_ring,
+    build_policy_tree,
+    build_random_bilateral,
+    build_third_party_endorsement,
+)
+from repro.workloads.metrics import MetricsReport, measure_negotiation
+
+__all__ = [
+    "Workload",
+    "build_delegation_chain",
+    "build_policy_tree",
+    "build_alternating_chain",
+    "build_peer_ring",
+    "build_cyclic_release",
+    "build_divergent_world",
+    "build_random_bilateral",
+    "build_third_party_endorsement",
+    "MetricsReport",
+    "measure_negotiation",
+]

@@ -1,0 +1,365 @@
+"""Parametric negotiation-workload generators.
+
+Every builder returns a :class:`Workload`: a world, the requesting peer,
+the provider name, and the goal to negotiate.  Builders are deterministic
+given their parameters (and ``seed`` where randomness is involved), so
+benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datalog.ast import Literal
+from repro.datalog.parser import parse_literal
+from repro.negotiation.peer import Peer
+from repro.negotiation.result import NegotiationResult
+from repro.negotiation.strategies import negotiate
+from repro.world import World
+
+
+@dataclass
+class Workload:
+    """A ready-to-run negotiation."""
+
+    world: World
+    requester: Peer
+    provider_name: str
+    goal: Literal
+    description: str = ""
+    expect_success: bool = True
+
+    def run(self, strategy: str = "parsimonious") -> NegotiationResult:
+        return negotiate(self.requester, self.provider_name, self.goal,
+                         strategy=strategy)
+
+
+# ---------------------------------------------------------------------------
+# E4: delegation chains
+# ---------------------------------------------------------------------------
+
+def build_delegation_chain(length: int, key_bits: int = 512,
+                           max_nesting: int = 64) -> Workload:
+    """A resource guarded by one credential whose authority delegates
+    through ``length`` signed rules (the registrar pattern of §3.1,
+    stretched)."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    world = World(key_bits=key_bits)
+    server = world.add_peer("Server", max_nesting=max_nesting)
+    client = world.add_peer("Client", max_nesting=max_nesting)
+    server.load_program(
+        'resource(Requester) $ true <- '
+        'member(Requester) @ "Root" @ Requester.')
+    client.load_program(
+        'member(X) @ Y $ true <-{true} member(X) @ Y.')
+
+    for level in range(length):
+        world.issuer(f"Auth{level}")
+    world.distribute_keys()
+
+    lines = []
+    for level in range(length - 1):
+        upper = "Root" if level == 0 else f"Auth{level}"
+        lower = f"Auth{level + 1}"
+        lines.append(f'member(X) @ "{upper}" <- signedBy ["{upper}"] '
+                     f'member(X) @ "{lower}".')
+    leaf = "Root" if length == 1 else f"Auth{length - 1}"
+    lines.append(f'member("Client") @ "{leaf}" signedBy ["{leaf}"].')
+    # "Root" must exist as an issuer even when length == 1.
+    world.issuer("Root")
+    world.distribute_keys()
+    world.give_credentials("Client", "\n".join(lines))
+
+    return Workload(world, client, "Server",
+                    parse_literal('resource("Client")'),
+                    description=f"delegation chain length={length}")
+
+
+# ---------------------------------------------------------------------------
+# E5: policy trees
+# ---------------------------------------------------------------------------
+
+def build_policy_tree(depth: int, branching: int, key_bits: int = 512) -> Workload:
+    """A resource guarded by a policy tree: internal predicates fan out with
+    the given ``branching`` down to ``depth``; each leaf demands one client
+    credential.  Leaf count = branching ** depth."""
+    if depth < 1 or branching < 1:
+        raise ValueError("depth and branching must be >= 1")
+    world = World(key_bits=key_bits)
+    server = world.add_peer("Server")
+    client = world.add_peer("Client")
+
+    rules: list[str] = []
+    leaves: list[str] = []
+
+    def expand(node: str, level: int) -> None:
+        if level == depth:
+            leaves.append(node)
+            return
+        children = [f"{node}_{i}" for i in range(branching)]
+        body = ", ".join(f"pol_{child}(Requester)" for child in children)
+        rules.append(f"pol_{node}(Requester) <- {body}.")
+        for child in children:
+            expand(child, level + 1)
+
+    expand("r", 0)
+    for leaf in leaves:
+        rules.append(f'pol_{leaf}(Requester) <- '
+                     f'cred_{leaf}(Requester) @ "CA_{leaf}" @ Requester.')
+    rules.insert(0, "resource(Requester) $ true <- pol_r(Requester).")
+    server.load_program("\n".join(rules))
+
+    client.load_program("\n".join(
+        f'cred_{leaf}(X) @ Y $ true <-{{true}} cred_{leaf}(X) @ Y.'
+        for leaf in leaves))
+    for leaf in leaves:
+        world.issuer(f"CA_{leaf}")
+    world.distribute_keys()
+    world.give_credentials("Client", "\n".join(
+        f'cred_{leaf}("Client") signedBy ["CA_{leaf}"].' for leaf in leaves))
+
+    return Workload(world, client, "Server",
+                    parse_literal('resource("Client")'),
+                    description=f"policy tree depth={depth} branching={branching}")
+
+
+# ---------------------------------------------------------------------------
+# E6: alternating bilateral release chains
+# ---------------------------------------------------------------------------
+
+def build_alternating_chain(rounds: int, key_bits: int = 512,
+                            max_nesting: int = 0) -> Workload:
+    """Client and server credentials locked against each other in an
+    alternating chain of the given depth.
+
+    resource needs c0; releasing c_i needs s_(i+1); releasing s_j needs c_j;
+    the deepest client credential is unconditionally releasable.  A safe
+    disclosure sequence always exists (the chain is acyclic), so both the
+    eager and parsimonious strategies must succeed — with very different
+    message/disclosure profiles (experiment E6).
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    nesting = max_nesting or (4 * rounds + 12)
+    world = World(key_bits=key_bits)
+    server = world.add_peer("Server", max_nesting=nesting)
+    client = world.add_peer("Client", max_nesting=nesting)
+
+    server_rules = ['resource(Requester) $ true <- '
+                    'c0(Requester) @ "CCA0" @ Requester.']
+    client_rules = []
+    server_creds = []
+    client_creds = []
+
+    for i in range(rounds):
+        if i < rounds - 1:
+            client_rules.append(
+                f'c{i}(X) @ Y $ s{i + 1}(Requester) @ "SCA{i + 1}" @ Requester '
+                f'<-{{true}} c{i}(X) @ Y.')
+            server_rules.append(
+                f's{i + 1}(X) @ Y $ c{i + 1}(Requester) @ "CCA{i + 1}" @ Requester '
+                f'<-{{true}} s{i + 1}(X) @ Y.')
+            server_creds.append(f's{i + 1}("Server") signedBy ["SCA{i + 1}"].')
+        else:
+            client_rules.append(f'c{i}(X) @ Y $ true <-{{true}} c{i}(X) @ Y.')
+        client_creds.append(f'c{i}("Client") signedBy ["CCA{i}"].')
+        world.issuer(f"CCA{i}")
+        world.issuer(f"SCA{i + 1}")
+
+    server.load_program("\n".join(server_rules))
+    client.load_program("\n".join(client_rules))
+    world.distribute_keys()
+    world.give_credentials("Server", "\n".join(server_creds) if server_creds else "")
+    world.give_credentials("Client", "\n".join(client_creds))
+
+    return Workload(world, client, "Server",
+                    parse_literal('resource("Client")'),
+                    description=f"alternating chain rounds={rounds}")
+
+
+# ---------------------------------------------------------------------------
+# E9: n-peer vouching rings
+# ---------------------------------------------------------------------------
+
+def build_peer_ring(peer_count: int, key_bits: int = 512) -> Workload:
+    """``peer_count`` peers where P0's resource requires a vouching
+    statement from P1, which requires one from P2, ...; the last peer holds
+    a local fact.  Exercises n-peer negotiation and answer credentials."""
+    if peer_count < 2:
+        raise ValueError("peer_count must be >= 2")
+    world = World(key_bits=key_bits)
+    nesting = 2 * peer_count + 10
+    peers = []
+    for index in range(peer_count):
+        peers.append(world.add_peer(f"P{index}", max_nesting=nesting))
+    client = world.add_peer("Client", max_nesting=nesting)
+
+    peers[0].load_program(
+        'resource(Requester) $ true <- vouch0(Requester) @ "P1".')
+    for index in range(1, peer_count):
+        if index < peer_count - 1:
+            peers[index].load_program(
+                f"vouch{index - 1}(X) $ true <- "
+                f'vouch{index}(X) @ "P{index + 1}".')
+        else:
+            peers[index].load_program(
+                f"vouch{index - 1}(X) $ true <- goodStanding(X).\n"
+                'goodStanding("Client").')
+    world.distribute_keys()
+
+    return Workload(world, client, "P0",
+                    parse_literal('resource("Client")'),
+                    description=f"vouching ring peers={peer_count}")
+
+
+# ---------------------------------------------------------------------------
+# E10: negotiations that must terminate in failure
+# ---------------------------------------------------------------------------
+
+def build_cyclic_release(key_bits: int = 512) -> Workload:
+    """Deadlocked release policies: the client credential unlocks only on a
+    server credential and vice versa.  No safe disclosure sequence exists —
+    every strategy must terminate with failure (E10)."""
+    world = World(key_bits=key_bits)
+    server = world.add_peer("Server")
+    client = world.add_peer("Client")
+    server.load_program(
+        'resource(Requester) $ true <- cA(Requester) @ "CCA" @ Requester.\n'
+        'sB(X) @ Y $ cA(Requester) @ "CCA" @ Requester <-{true} sB(X) @ Y.')
+    client.load_program(
+        'cA(X) @ Y $ sB(Requester) @ "SCA" @ Requester <-{true} cA(X) @ Y.')
+    world.issuer("CCA")
+    world.issuer("SCA")
+    world.distribute_keys()
+    world.give_credentials("Client", 'cA("Client") signedBy ["CCA"].')
+    world.give_credentials("Server", 'sB("Server") signedBy ["SCA"].')
+    return Workload(world, client, "Server",
+                    parse_literal('resource("Client")'),
+                    description="cyclic release deadlock",
+                    expect_success=False)
+
+
+def build_divergent_world(key_bits: int = 512) -> Workload:
+    """A server policy that recurses through a growing term
+    (``spiral(X) <- spiral(wrap(X))``): only the engine's depth bound stops
+    it.  Terminates with failure in bounded time (E10)."""
+    world = World(key_bits=key_bits)
+    server = world.add_peer("Server", max_depth=60)
+    client = world.add_peer("Client")
+    server.load_program(
+        "resource(Requester) $ true <- spiral(seed).\n"
+        "spiral(X) <- spiral(wrap(X)).")
+    world.distribute_keys()
+    return Workload(world, client, "Server",
+                    parse_literal('resource("Client")'),
+                    description="divergent recursion (depth-bounded)",
+                    expect_success=False)
+
+
+# ---------------------------------------------------------------------------
+# Randomised bilateral workloads (property tests, strategy comparisons)
+# ---------------------------------------------------------------------------
+
+def build_random_bilateral(
+    seed: int,
+    client_credentials: int = 4,
+    lock_probability: float = 0.6,
+    key_bits: int = 512,
+) -> Workload:
+    """A randomized two-party workload with an acyclic release-dependency
+    graph (so a safe disclosure sequence always exists when the resource's
+    required credentials are present).
+
+    Client credentials ``c0..cN-1``; each may be locked on a server
+    credential, which in turn may be locked on a strictly later client
+    credential (index order gives acyclicity).  The resource requires a
+    random non-empty subset of client credentials.
+    """
+    generator = random.Random(seed)
+    world = World(key_bits=key_bits)
+    nesting = 6 * client_credentials + 20
+    server = world.add_peer("Server", max_nesting=nesting)
+    client = world.add_peer("Client", max_nesting=nesting)
+
+    client_rules, server_rules = [], []
+    client_creds, server_creds = [], []
+    required = sorted(generator.sample(
+        range(client_credentials),
+        generator.randint(1, client_credentials)))
+
+    for i in range(client_credentials):
+        client_creds.append(f'c{i}("Client") signedBy ["CCA{i}"].')
+        world.issuer(f"CCA{i}")
+        locked = generator.random() < lock_probability and i < client_credentials - 1
+        if locked:
+            client_rules.append(
+                f'c{i}(X) @ Y $ s{i}(Requester) @ "SCA{i}" @ Requester '
+                f'<-{{true}} c{i}(X) @ Y.')
+            server_creds.append(f's{i}("Server") signedBy ["SCA{i}"].')
+            world.issuer(f"SCA{i}")
+            if generator.random() < lock_probability:
+                unlock_index = generator.randint(i + 1, client_credentials - 1)
+                server_rules.append(
+                    f's{i}(X) @ Y $ c{unlock_index}(Requester) '
+                    f'@ "CCA{unlock_index}" @ Requester <-{{true}} s{i}(X) @ Y.')
+            else:
+                server_rules.append(
+                    f's{i}(X) @ Y $ true <-{{true}} s{i}(X) @ Y.')
+        else:
+            client_rules.append(f'c{i}(X) @ Y $ true <-{{true}} c{i}(X) @ Y.')
+
+    body = ", ".join(f'c{i}(Requester) @ "CCA{i}" @ Requester' for i in required)
+    server_rules.insert(0, f"resource(Requester) $ true <- {body}.")
+
+    server.load_program("\n".join(server_rules))
+    client.load_program("\n".join(client_rules))
+    world.distribute_keys()
+    if server_creds:
+        world.give_credentials("Server", "\n".join(server_creds))
+    world.give_credentials("Client", "\n".join(client_creds))
+
+    return Workload(world, client, "Server",
+                    parse_literal('resource("Client")'),
+                    description=f"random bilateral seed={seed}")
+
+
+# ---------------------------------------------------------------------------
+# Multiparty workloads (third-party release dependencies)
+# ---------------------------------------------------------------------------
+
+def build_third_party_endorsement(provider_hint: bool = False,
+                                  key_bits: int = 512) -> Workload:
+    """The requester's credential unlocks only on an endorsement of the
+    *provider* that a third peer holds.
+
+    Bilaterally this deadlocks: the provider has nothing to push, and
+    two-party eager never contacts the endorser.  With ``provider_hint``
+    the provider gains a delegation-hint rule so *parsimonious* evaluation
+    can fetch the endorsement itself; without it, only multiparty eager
+    negotiation (endorser included as a participant) succeeds.
+    """
+    world = World(key_bits=key_bits)
+    server_program = (
+        'resource(Requester) $ true <- c0(Requester) @ "CCA" @ Requester.\n')
+    if provider_hint:
+        server_program += (
+            'endorsement(X) @ "TCA" <-{true} '
+            'endorsement(X) @ "TCA" @ "Endorser".\n')
+    server = world.add_peer("Server", server_program)
+    client = world.add_peer("Client", (
+        'c0(X) @ Y $ endorsement(Requester) @ "TCA" @ Requester '
+        '<-{true} c0(X) @ Y.'))
+    endorser = world.add_peer("Endorser", (
+        'endorsement(X) @ Y $ true <-{true} endorsement(X) @ Y.'))
+    world.issuer("CCA")
+    world.issuer("TCA")
+    world.distribute_keys()
+    world.give_credentials("Client", 'c0("Client") signedBy ["CCA"].')
+    world.give_credentials("Endorser",
+                           'endorsement("Server") signedBy ["TCA"].')
+    return Workload(world, client, "Server",
+                    parse_literal('resource("Client")'),
+                    description="third-party endorsement"
+                    + (" (with hint)" if provider_hint else ""))

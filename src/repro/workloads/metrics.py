@@ -1,0 +1,86 @@
+"""Negotiation measurement: one call, one comparable report.
+
+Combines three observation points — the transport's byte/message/latency
+accounting, the session's event counters, and host wall time — into a flat
+:class:`MetricsReport` that benchmark tables print directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.negotiation.result import NegotiationResult
+from repro.workloads.generator import Workload
+
+
+@dataclass
+class MetricsReport:
+    """Flat metrics for one negotiation run."""
+
+    granted: bool
+    strategy: str
+    messages: int
+    bytes: int
+    simulated_ms: float
+    wall_seconds: float
+    queries: int
+    answers: int
+    denials: int
+    disclosures: int
+    loops_detected: int
+    release_checks: int
+    description: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def row(self) -> dict:
+        """The report as an ordered printable mapping."""
+        return {
+            "workload": self.description,
+            "strategy": self.strategy,
+            "granted": self.granted,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "sim_ms": round(self.simulated_ms, 2),
+            "wall_ms": round(self.wall_seconds * 1000, 2),
+            "queries": self.queries,
+            "disclosures": self.disclosures,
+            "loops": self.loops_detected,
+            **self.extra,
+        }
+
+
+def measure_negotiation(
+    workload: Workload,
+    strategy: str = "parsimonious",
+    runner: Optional[Callable[[], NegotiationResult]] = None,
+) -> tuple[NegotiationResult, MetricsReport]:
+    """Run ``workload`` (or a custom ``runner``) and collect metrics.
+
+    Transport counters are reset before the run so the report reflects this
+    negotiation only.
+    """
+    transport = workload.world.transport
+    transport.reset_stats()
+    started = time.perf_counter()
+    result = runner() if runner is not None else workload.run(strategy)
+    wall = time.perf_counter() - started
+    stats = transport.stats
+    counters = result.session.counters if result.session else {}
+    report = MetricsReport(
+        granted=result.granted,
+        strategy=strategy,
+        messages=stats.messages,
+        bytes=stats.bytes,
+        simulated_ms=stats.simulated_ms,
+        wall_seconds=wall,
+        queries=counters.get("query", 0),
+        answers=counters.get("answer", 0),
+        denials=counters.get("deny", 0),
+        disclosures=counters.get("disclose", 0),
+        loops_detected=counters.get("loops_detected", 0),
+        release_checks=counters.get("release_checks", 0),
+        description=workload.description,
+    )
+    return result, report

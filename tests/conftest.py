@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+Key generation dominates setup cost, so everything here uses 512-bit keys
+through the process-wide key cache (`repro.crypto.keys.keypair_for`): the
+first test to need "Alice"'s key pays for it, the rest reuse it.  512-bit
+RSA exercises every code path the 1024-bit default does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import keypair_for
+from repro.datalog.builtins import BuiltinRegistry
+from repro.datalog.knowledge import KnowledgeBase
+from repro.datalog.parser import parse_literal, parse_program, parse_rule
+from repro.datalog.sld import SLDEngine
+
+KEY_BITS = 512
+
+
+@pytest.fixture
+def kb():
+    return KnowledgeBase()
+
+
+@pytest.fixture
+def engine_for():
+    """Factory: an SLD engine over a program text."""
+
+    def build(source: str, **options) -> SLDEngine:
+        base = KnowledgeBase(parse_program(source))
+        return SLDEngine(base, **options)
+
+    return build
+
+
+@pytest.fixture
+def keys_for():
+    """Factory for cached 512-bit key pairs."""
+
+    def build(principal: str):
+        return keypair_for(principal, KEY_BITS)
+
+    return build
+
+
+@pytest.fixture
+def scenario1():
+    from repro.scenarios.elearn import build_scenario1
+
+    return build_scenario1(key_bits=KEY_BITS)
+
+
+@pytest.fixture
+def scenario2():
+    from repro.scenarios.services import build_scenario2
+
+    return build_scenario2(key_bits=KEY_BITS)

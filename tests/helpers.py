@@ -1,0 +1,13 @@
+"""Shared plain-function helpers for the test suite."""
+
+from repro.datalog.parser import parse_literal
+from repro.datalog.sld import SLDEngine
+
+
+def ask(engine: SLDEngine, goal_text: str) -> bool:
+    return engine.ask([parse_literal(goal_text)])
+
+
+def answers(engine: SLDEngine, goal_text: str, variable: str) -> set[str]:
+    goal = parse_literal(goal_text)
+    return {str(solution.binding(variable)) for solution in engine.query([goal])}

@@ -1,0 +1,105 @@
+"""Broker-directory helper and simulated-clock tests."""
+
+import pytest
+
+from repro.datalog.parser import parse_literal
+from repro.negotiation.strategies import negotiate
+from repro.net.broker import BrokerDirectory, broker_program
+from repro.world import World
+
+KEY_BITS = 512
+
+
+class TestBrokerProgram:
+    def test_program_shape(self):
+        source = broker_program({"purchaseApproved": "VISA",
+                                 "weather": ["NOAA", "MetOffice"]})
+        assert 'authority(purchaseApproved, "VISA").' in source
+        assert 'authority(weather, "NOAA").' in source
+        assert "$ true" in source
+
+    def test_empty_directory(self):
+        source = broker_program({})
+        assert "$ true" in source
+
+
+class TestBrokerDirectory:
+    def build(self):
+        world = World(key_bits=KEY_BITS)
+        broker = BrokerDirectory.create(
+            world, directory={"purchaseApproved": "VISA"})
+        asker = world.add_peer("Asker")
+        world.distribute_keys()
+        return world, broker, asker
+
+    def test_lookup_through_negotiation(self):
+        world, broker, asker = self.build()
+        result = negotiate(asker, "myBroker",
+                           parse_literal("authority(purchaseApproved, A)"))
+        assert result.granted
+        assert str(result.binding("A")) == '"VISA"'
+
+    def test_register_and_unregister(self):
+        world, broker, asker = self.build()
+        broker.register("weather", "NOAA")
+        broker.register("weather", "NOAA")  # idempotent
+        assert broker.authorities_for("weather") == ["NOAA"]
+        assert broker.topics() == ["purchaseApproved", "weather"]
+        assert broker.unregister("weather", "NOAA")
+        assert not broker.unregister("weather", "NOAA")
+        assert broker.authorities_for("weather") == []
+
+    def test_multiple_authorities(self):
+        world, broker, asker = self.build()
+        broker.register("purchaseApproved", "MasterCard")
+        result = negotiate(asker, "myBroker",
+                           parse_literal("authority(purchaseApproved, A)"))
+        found = {str(lit.args[1]) for lit, _ in result.answers}
+        assert found == {'"VISA"', '"MasterCard"'}
+
+
+class TestSimulatedClock:
+    def build(self, provider_clock):
+        world = World(key_bits=KEY_BITS)
+        server = world.add_peer("Server", (
+            'resource(Requester) $ true <- '
+            'pass(Requester) @ "Gate" @ Requester.'))
+        client = world.add_peer("Client",
+                                'pass(X) @ Y $ true <-{true} pass(X) @ Y.')
+        world.issuer("Gate")
+        world.distribute_keys()
+        credential = world.credential('pass("Client") signedBy ["Gate"].',
+                                      not_before=100.0, not_after=200.0)
+        client.clock = 150.0  # within window, so the client can hold it
+        client.hold_credential(credential)
+        server.clock = provider_clock
+        return world, server, client
+
+    def test_valid_window_grants(self):
+        world, server, client = self.build(provider_clock=150.0)
+        result = negotiate(client, "Server", parse_literal('resource("Client")'))
+        assert result.granted
+
+    def test_expired_at_verifier_denies(self):
+        world, server, client = self.build(provider_clock=250.0)
+        result = negotiate(client, "Server", parse_literal('resource("Client")'))
+        assert not result.granted
+        assert result.session.counters["bad_credentials"] >= 1
+
+    def test_not_yet_valid_at_verifier_denies(self):
+        world, server, client = self.build(provider_clock=50.0)
+        result = negotiate(client, "Server", parse_literal('resource("Client")'))
+        assert not result.granted
+
+    def test_holder_cannot_hold_expired(self):
+        from repro.errors import ExpiredCredentialError
+
+        world = World(key_bits=KEY_BITS)
+        holder = world.add_peer("Holder")
+        world.issuer("Gate")
+        world.distribute_keys()
+        credential = world.credential('pass("H") signedBy ["Gate"].',
+                                      not_after=10.0)
+        holder.clock = 20.0
+        with pytest.raises(ExpiredCredentialError):
+            holder.hold_credential(credential)

@@ -1,0 +1,160 @@
+"""Unit tests for builtin and external predicates."""
+
+import pytest
+
+from repro.datalog.builtins import BuiltinRegistry, evaluate_arithmetic
+from repro.datalog.parser import parse_literal, parse_term
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Constant, atom, number, var
+from repro.errors import BuiltinError
+
+EMPTY = Substitution.empty()
+
+
+def solve(goal_text: str, subst=EMPTY):
+    registry = BuiltinRegistry()
+    return list(registry.solve(parse_literal(goal_text), subst))
+
+
+class TestArithmetic:
+    def test_constant(self):
+        assert evaluate_arithmetic(parse_term("7"), EMPTY) == 7
+
+    def test_addition_multiplication(self):
+        assert evaluate_arithmetic(parse_term("1 + 2 * 3"), EMPTY) == 7
+
+    def test_subtraction_division(self):
+        assert evaluate_arithmetic(parse_term("10 - 4 / 2"), EMPTY) == 8
+
+    def test_unary_minus_compound(self):
+        assert evaluate_arithmetic(parse_term("-(2 + 3)"), EMPTY) == -5
+
+    def test_through_substitution(self):
+        subst = EMPTY.bind(var("X"), number(5))
+        assert evaluate_arithmetic(parse_term("X * 2"), subst) == 10
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(BuiltinError):
+            evaluate_arithmetic(parse_term("X + 1"), EMPTY)
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(BuiltinError):
+            evaluate_arithmetic(parse_term("abc"), EMPTY)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(BuiltinError):
+            evaluate_arithmetic(parse_term("1 / 0"), EMPTY)
+
+
+class TestComparisons:
+    def test_less_than_success(self):
+        assert solve("1500 < 2000")
+
+    def test_less_than_failure(self):
+        assert not solve("2500 < 2000")
+
+    def test_le_ge_gt(self):
+        assert solve("2 <= 2") and solve("3 >= 3") and solve("4 > 3")
+
+    def test_arithmetic_operands(self):
+        assert solve("25000 + 1000 <= 100000")
+
+    def test_comparison_on_unbound_raises(self):
+        with pytest.raises(BuiltinError):
+            solve("X < 2000")
+
+
+class TestEquality:
+    def test_unifies_variable(self):
+        results = solve("X = 5")
+        assert results and results[0].resolve(var("X")) == number(5)
+
+    def test_unifies_structures(self):
+        results = solve("f(X, b) = f(a, Y)")
+        assert results
+        assert results[0].resolve(var("X")) == atom("a")
+
+    def test_arithmetic_equality_binds(self):
+        results = solve("X = 2 + 3")
+        assert results[0].resolve(var("X")) == number(5)
+
+    def test_arithmetic_equality_checks(self):
+        assert solve("5 = 2 + 3")
+        assert not solve("6 = 2 + 3")
+
+    def test_reversed_arithmetic(self):
+        results = solve("2 + 3 = X")
+        assert results[0].resolve(var("X")) == number(5)
+
+    def test_plain_mismatch(self):
+        assert not solve("a = b")
+
+    def test_disequality(self):
+        assert solve("a != b")
+        assert not solve("a != a")
+
+    def test_disequality_requires_ground(self):
+        with pytest.raises(BuiltinError):
+            solve("X != a")
+
+    def test_identity_no_binding(self):
+        assert not solve("X == a")  # unbound X is not identical to a
+        assert solve("a == a")
+
+
+class TestExternals:
+    def test_register_check_success(self):
+        registry = BuiltinRegistry()
+        registry.register_check("even", 1, lambda n: n % 2 == 0)
+        assert list(registry.solve(parse_literal("even(4)"), EMPTY))
+        assert not list(registry.solve(parse_literal("even(3)"), EMPTY))
+
+    def test_check_requires_ground(self):
+        registry = BuiltinRegistry()
+        registry.register_check("even", 1, lambda n: n % 2 == 0)
+        with pytest.raises(BuiltinError):
+            list(registry.solve(parse_literal("even(X)"), EMPTY))
+
+    def test_external_enumerates_bindings(self):
+        registry = BuiltinRegistry()
+
+        def lookup(args):
+            return [(args[0], Constant(balance))
+                    for balance in (100, 200)]
+
+        registry.register_external("balance", 2, lookup)
+        results = list(registry.solve(parse_literal('balance("IBM", B)'), EMPTY))
+        assert {r.resolve(var("B")) for r in results} == {number(100), number(200)}
+
+    def test_external_answers_filtered_by_unification(self):
+        registry = BuiltinRegistry()
+        registry.register_external(
+            "pair", 2, lambda args: [(atom("a"), atom("b"))])
+        assert list(registry.solve(parse_literal("pair(a, X)"), EMPTY))
+        assert not list(registry.solve(parse_literal("pair(c, X)"), EMPTY))
+
+    def test_external_wrong_arity_answer_raises(self):
+        registry = BuiltinRegistry()
+        registry.register_external("bad", 1, lambda args: [(atom("a"), atom("b"))])
+        with pytest.raises(BuiltinError):
+            list(registry.solve(parse_literal("bad(X)"), EMPTY))
+
+    def test_unregistered_builtin_raises(self):
+        registry = BuiltinRegistry()
+        with pytest.raises(BuiltinError):
+            list(registry.solve(parse_literal("mystery(X)"), EMPTY))
+
+    def test_is_builtin(self):
+        registry = BuiltinRegistry()
+        assert registry.is_builtin(("<", 2))
+        assert not registry.is_builtin(("student", 1))
+        registry.register_check("vip", 1, lambda n: True)
+        assert registry.is_builtin(("vip", 1))
+
+    def test_copy_isolated(self):
+        registry = BuiltinRegistry()
+        registry.register_check("vip", 1, lambda n: True)
+        duplicate = registry.copy()
+        duplicate.register_check("vvip", 1, lambda n: True)
+        assert not registry.is_builtin(("vvip", 1))
+        assert duplicate.is_builtin(("vip", 1))

@@ -1,0 +1,148 @@
+"""Certificate and CA chain-validation tests."""
+
+import pytest
+
+from repro.credentials.ca import (
+    CertificateAuthority,
+    keyring_from_certificates,
+    verify_chain,
+)
+from repro.credentials.certificate import make_certificate
+from repro.crypto.keys import KeyRing, keypair_for
+from repro.errors import CertificateError, ExpiredCredentialError
+
+KEY_BITS = 512
+
+
+@pytest.fixture(scope="module")
+def root():
+    return CertificateAuthority("Root", keys=keypair_for("Root", KEY_BITS))
+
+
+@pytest.fixture(scope="module")
+def intermediate(root):
+    return CertificateAuthority("Inter", keys=keypair_for("Inter", KEY_BITS))
+
+
+@pytest.fixture(scope="module")
+def anchors(root):
+    ring = KeyRing()
+    ring.add(root.keys.public)
+    return ring
+
+
+class TestSingleCertificates:
+    def test_issue_and_verify(self, root, anchors):
+        subject = keypair_for("cert-leaf", KEY_BITS)
+        certificate = root.issue(subject.public)
+        key = verify_chain([certificate], anchors)
+        assert key.principal == "cert-leaf"
+
+    def test_self_signed(self, root):
+        certificate = root.self_signed_certificate()
+        assert certificate.is_self_signed
+        anchors = KeyRing()
+        anchors.add(root.keys.public)
+        verify_chain([certificate], anchors)
+
+    def test_untrusted_issuer_rejected(self, root):
+        subject = keypair_for("cert-leaf", KEY_BITS)
+        certificate = root.issue(subject.public)
+        with pytest.raises(CertificateError):
+            verify_chain([certificate], KeyRing())
+
+    def test_wrong_issuer_key_rejected(self, root, intermediate):
+        subject = keypair_for("cert-leaf", KEY_BITS)
+        certificate = root.issue(subject.public)
+        wrong_anchors = KeyRing()
+        # claim "Root" is actually Inter's key
+        from repro.crypto.keys import PublicKey
+
+        wrong_anchors.add(PublicKey("Root", intermediate.keys.public.rsa_key))
+        with pytest.raises(CertificateError):
+            verify_chain([certificate], wrong_anchors)
+
+    def test_validity_window(self, root, anchors):
+        subject = keypair_for("cert-leaf", KEY_BITS)
+        certificate = root.issue(subject.public, not_before=10.0, not_after=20.0)
+        verify_chain([certificate], anchors, now=15.0)
+        with pytest.raises(ExpiredCredentialError):
+            verify_chain([certificate], anchors, now=25.0)
+
+    def test_empty_chain_rejected(self, anchors):
+        with pytest.raises(CertificateError):
+            verify_chain([], anchors)
+
+
+class TestChains:
+    def test_two_level_chain(self, root, intermediate, anchors):
+        intermediate_certificate = root.issue_intermediate(intermediate)
+        leaf_keys = keypair_for("cert-chain-leaf", KEY_BITS)
+        leaf = intermediate.issue(leaf_keys.public)
+        key = verify_chain([leaf, intermediate_certificate], anchors)
+        assert key.principal == "cert-chain-leaf"
+
+    def test_broken_linkage_rejected(self, root, intermediate, anchors):
+        leaf_keys = keypair_for("cert-chain-leaf", KEY_BITS)
+        leaf = intermediate.issue(leaf_keys.public)
+        unrelated = root.issue(keypair_for("other", KEY_BITS).public)
+        with pytest.raises(CertificateError):
+            verify_chain([leaf, unrelated], anchors)
+
+    def test_revoked_leaf_rejected(self, root, intermediate, anchors):
+        intermediate_certificate = root.issue_intermediate(intermediate)
+        leaf_keys = keypair_for("cert-revoked-leaf", KEY_BITS)
+        leaf = intermediate.issue(leaf_keys.public)
+        intermediate.revoke(leaf)
+        with pytest.raises(CertificateError):
+            verify_chain([leaf, intermediate_certificate], anchors,
+                         [intermediate.crl])
+
+    def test_revoked_intermediate_rejected(self, root, anchors):
+        doomed = CertificateAuthority("Doomed", keys=keypair_for("Doomed", KEY_BITS))
+        doomed_certificate = root.issue_intermediate(doomed)
+        root.revoke(doomed_certificate)
+        leaf = doomed.issue(keypair_for("victim", KEY_BITS).public)
+        with pytest.raises(CertificateError):
+            verify_chain([leaf, doomed_certificate], anchors, [root.crl])
+
+
+class TestKeyringBootstrap:
+    def test_valid_certificates_imported(self, root, anchors):
+        subjects = [keypair_for(f"boot-{i}", KEY_BITS) for i in range(3)]
+        certificates = [root.issue(s.public) for s in subjects]
+        ring = keyring_from_certificates(certificates, anchors)
+        for subject in subjects:
+            assert subject.principal in ring
+
+    def test_untrusted_certificates_skipped(self, root, intermediate, anchors):
+        # intermediate is NOT anchored and its cert is not provided
+        stray = intermediate.issue(keypair_for("stray", KEY_BITS).public)
+        good = root.issue(keypair_for("good", KEY_BITS).public)
+        ring = keyring_from_certificates([stray, good], anchors)
+        assert "good" in ring and "stray" not in ring
+
+    def test_intermediate_then_leaf_ordering(self, root, intermediate, anchors):
+        intermediate_certificate = root.issue_intermediate(intermediate)
+        leaf = intermediate.issue(keypair_for("ordered-leaf", KEY_BITS).public)
+        ring = keyring_from_certificates([intermediate_certificate, leaf], anchors)
+        assert "ordered-leaf" in ring
+
+
+class TestCertificateObject:
+    def test_signing_bytes_depend_on_subject(self, root):
+        a = root.issue(keypair_for("subj-a", KEY_BITS).public)
+        b = root.issue(keypair_for("subj-b", KEY_BITS).public)
+        assert a.signing_bytes() != b.signing_bytes()
+        assert a.serial != b.serial
+
+    def test_make_certificate_direct(self, root):
+        subject = keypair_for("direct", KEY_BITS)
+        certificate = make_certificate(subject.public, root.keys)
+        certificate.verify_signature(root.keys.public)
+
+    def test_issued_certificates_tracked(self):
+        ca = CertificateAuthority("Tracker", keys=keypair_for("Tracker", KEY_BITS))
+        ca.issue(keypair_for("t1", KEY_BITS).public)
+        ca.issue(keypair_for("t2", KEY_BITS).public)
+        assert len(ca.issued_certificates()) == 2

@@ -1,0 +1,182 @@
+"""Content-triggered trust negotiation tests (§6 extension).
+
+The printer story from the paper's closing paragraph: one policy covers
+"all color printers on the third floor" intensionally; resources gain or
+lose coverage purely through their attribute facts.
+"""
+
+import pytest
+
+from repro.datalog.parser import parse_literal
+from repro.datalog.terms import Constant, Variable
+from repro.errors import PolicyError
+from repro.negotiation.strategies import negotiate
+from repro.policy.content import ContentPolicy, ContentPolicyRegistry
+from repro.world import World
+
+KEY_BITS = 512
+
+PRINTER_ATTRIBUTES = """
+printer(p1). location(p1, floor3). colorCapable(p1).
+printer(p2). location(p2, floor3).
+printer(p3). location(p3, floor1). colorCapable(p3).
+"""
+
+FLOOR3_COLOR = ContentPolicy.parse(
+    name="color-floor3",
+    action="print",
+    resource_var="R",
+    selector="printer(R), location(R, floor3), colorCapable(R)",
+    requirements='staffBadge(Requester) @ "HR" @ Requester',
+)
+
+
+def build_world(combining="any", extra_policies=()):
+    world = World(key_bits=KEY_BITS)
+    server = world.add_peer("PrintServer", PRINTER_ATTRIBUTES)
+    client = world.add_peer("Carol",
+                            'staffBadge(X) @ Y $ true <-{true} staffBadge(X) @ Y.\n'
+                            'contractorPass(X) @ Y $ true <-{true} contractorPass(X) @ Y.')
+    world.issuer("HR")
+    world.issuer("Facilities")
+    world.distribute_keys()
+    world.give_credentials("Carol", 'staffBadge("Carol") signedBy ["HR"].')
+    registry = ContentPolicyRegistry(combining=combining)
+    registry.add(FLOOR3_COLOR)
+    for policy in extra_policies:
+        registry.add(policy)
+    registry.install(server)
+    return world, server, client, registry
+
+
+class TestPolicyAuthoring:
+    def test_empty_selector_rejected(self):
+        with pytest.raises(PolicyError):
+            ContentPolicy("p", "print", Variable("R"), (), ())
+
+    def test_selector_must_constrain_resource(self):
+        with pytest.raises(PolicyError):
+            ContentPolicy.parse("p", "print", "R",
+                                selector="printer(Q)", requirements="true")
+
+    def test_compiles_to_release_rule(self):
+        rule = FLOOR3_COLOR.compile()
+        assert rule.is_release_policy
+        assert rule.head.predicate == "access"
+        assert len(rule.body) == 3
+
+    def test_duplicate_name_rejected(self):
+        registry = ContentPolicyRegistry()
+        registry.add(FLOOR3_COLOR)
+        with pytest.raises(PolicyError):
+            registry.add(FLOOR3_COLOR)
+
+    def test_bad_combining_mode(self):
+        with pytest.raises(ValueError):
+            ContentPolicyRegistry(combining="most")
+
+
+class TestCoverage:
+    def test_covering_policies(self):
+        world, server, client, registry = build_world()
+        assert [p.name for p in registry.covering_policies(
+            "print", Constant("p1"))] == ["color-floor3"]
+        assert registry.covering_policies("print", Constant("p2")) == []
+        assert registry.covering_policies("print", Constant("p3")) == []
+        assert registry.covering_policies("scan", Constant("p1")) == []
+
+    def test_content_trigger_on_new_resource(self):
+        """Adding a floor-3 color printer extends coverage with no policy
+        edit — the defining property of content-triggered protection."""
+        world, server, client, registry = build_world()
+        server.kb.load("printer(p9). location(p9, floor3). colorCapable(p9).")
+        assert registry.covering_policies("print", Constant("p9"))
+
+    def test_requirements_instantiated(self):
+        world, server, client, registry = build_world()
+        [goals] = registry.requirements_for("print", Constant("p1"), "Carol")
+        assert 'staffBadge("Carol") @ "HR" @ "Carol"' == str(goals[0])
+
+    def test_uncovered_resource_returns_none(self):
+        world, server, client, registry = build_world()
+        assert registry.requirements_for("print", Constant("p2"), "Carol") is None
+
+    def test_remove_policy_removes_coverage(self):
+        world, server, client, registry = build_world()
+        registry.remove("color-floor3")
+        assert registry.covering_policies("print", Constant("p1")) == []
+        assert not negotiate(client, "PrintServer",
+                             parse_literal('access(print, p1, "Carol")')).granted
+
+
+class TestNegotiationIntegration:
+    def test_access_granted_on_covered_resource(self):
+        world, server, client, _ = build_world()
+        result = negotiate(client, "PrintServer",
+                           parse_literal('access(print, p1, "Carol")'))
+        assert result.granted
+
+    def test_access_denied_without_coverage(self):
+        world, server, client, _ = build_world()
+        # p2 is monochrome: no policy covers it, default-deny applies.
+        result = negotiate(client, "PrintServer",
+                           parse_literal('access(print, p2, "Carol")'))
+        assert not result.granted
+
+    def test_requirements_drive_negotiation(self):
+        """Without the HR badge the requirement is unprovable."""
+        world, server, client, _ = build_world()
+        for credential in list(client.credentials.credentials()):
+            client.credentials.remove(credential.serial)
+        result = negotiate(client, "PrintServer",
+                           parse_literal('access(print, p1, "Carol")'))
+        assert not result.granted
+
+    def test_open_resource_variable_enumerates(self):
+        world, server, client, _ = build_world()
+        result = negotiate(client, "PrintServer",
+                           parse_literal('access(print, R, "Carol")'))
+        assert result.granted
+        assert str(result.binding("R")) == "p1"
+
+
+class TestCombiningModes:
+    FACILITIES = ContentPolicy.parse(
+        name="floor3-facilities",
+        action="print",
+        resource_var="R",
+        selector="printer(R), location(R, floor3)",
+        requirements='contractorPass(Requester) @ "Facilities" @ Requester',
+    )
+
+    def test_any_mode_grants_on_one_policy(self):
+        world, server, client, _ = build_world(
+            combining="any", extra_policies=[self.FACILITIES])
+        # Carol has only the HR badge; in 'any' mode that is enough for p1.
+        result = negotiate(client, "PrintServer",
+                           parse_literal('access(print, p1, "Carol")'))
+        assert result.granted
+
+    def test_all_mode_requires_every_covering_policy(self):
+        world, server, client, _ = build_world(
+            combining="all", extra_policies=[self.FACILITIES])
+        result = negotiate(client, "PrintServer",
+                           parse_literal('access(print, p1, "Carol")'))
+        assert not result.granted  # missing the Facilities pass
+
+        world.give_credentials(
+            "Carol", 'contractorPass("Carol") signedBy ["Facilities"].')
+        result = negotiate(client, "PrintServer",
+                           parse_literal('access(print, p1, "Carol")'))
+        assert result.granted
+
+    def test_all_mode_uncovered_still_denied(self):
+        world, server, client, _ = build_world(combining="all")
+        result = negotiate(client, "PrintServer",
+                           parse_literal('access(print, p3, "Carol")'))
+        assert not result.granted
+
+    def test_double_install_rejected(self):
+        world, server, client, registry = build_world()
+        with pytest.raises(PolicyError):
+            registry.install(server)

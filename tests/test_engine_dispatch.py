@@ -1,0 +1,237 @@
+"""Dispatcher semantics: the signedBy axiom, authority reduction, evidence
+drops, remote evaluation, and certification."""
+
+import pytest
+
+from repro.datalog.parser import parse_literal
+from repro.negotiation.engine import EvalContext, evidence_context
+from repro.negotiation.session import Session
+from repro.world import World
+
+KEY_BITS = 512
+
+
+def make_world(**kwargs) -> World:
+    return World(key_bits=KEY_BITS, **kwargs)
+
+
+_session_ids = iter(range(10_000))
+
+
+def context_for(peer, requester="Asker", session=None, **options):
+    if session is None:
+        session_id = f"dispatch-{next(_session_ids)}"
+        if peer.transport is not None:
+            # Use the transport's session table so nested handlers share
+            # the same Session object (loop detection spans peers).
+            session = peer.transport.sessions.get_or_create(session_id, requester)
+        else:
+            session = Session(session_id, requester)
+    return EvalContext(
+        peer=peer,
+        session=session,
+        requester=requester,
+        kb=peer.kb,
+        stores=[peer.credentials, session.received_for(peer.name)],
+        **options,
+    )
+
+
+class TestCredentialAxiom:
+    def test_chained_head_credential(self):
+        world = make_world()
+        holder = world.add_peer("Holder")
+        world.issuer("UIUC")
+        world.distribute_keys()
+        world.give_credentials("Holder", 'student("Alice") @ "UIUC" signedBy ["UIUC"].')
+        ctx = context_for(holder, allow_remote=False)
+        assert ctx.query_goal(parse_literal('student("Alice") @ "UIUC"'))
+
+    def test_bare_head_credential_gets_issuer_appended(self):
+        world = make_world()
+        holder = world.add_peer("Holder")
+        world.issuer("VISA")
+        world.distribute_keys()
+        world.give_credentials("Holder", 'visaCard("IBM") signedBy ["VISA"].')
+        ctx = context_for(holder, allow_remote=False)
+        assert ctx.query_goal(parse_literal('visaCard("IBM") @ "VISA"'))
+
+    def test_bare_goal_not_proven_by_credential(self):
+        world = make_world()
+        holder = world.add_peer("Holder")
+        world.issuer("VISA")
+        world.distribute_keys()
+        world.give_credentials("Holder", 'visaCard("IBM") signedBy ["VISA"].')
+        ctx = context_for(holder, allow_remote=False)
+        assert not ctx.query_goal(parse_literal('visaCard("IBM")'))
+
+    def test_foreign_authority_claim_rejected(self):
+        """A credential signed by X claiming `lit @ Y` cannot vouch."""
+        world = make_world()
+        holder = world.add_peer("Holder")
+        world.issuer("Mallory")
+        world.distribute_keys()
+        world.give_credentials(
+            "Holder", 'student("Alice") @ "UIUC" signedBy ["Mallory"].')
+        ctx = context_for(holder, allow_remote=False)
+        assert not ctx.query_goal(parse_literal('student("Alice") @ "UIUC"'))
+
+    def test_credential_body_resolved(self):
+        world = make_world()
+        holder = world.add_peer("Holder")
+        world.issuer("UIUC")
+        world.issuer("Registrar")
+        world.distribute_keys()
+        world.give_credentials("Holder", '''
+            student(X) @ "UIUC" <- signedBy ["UIUC"] student(X) @ "Registrar".
+            student("Alice") @ "Registrar" signedBy ["Registrar"].
+        ''')
+        ctx = context_for(holder, allow_remote=False)
+        solutions = ctx.query_goal(parse_literal('student(W) @ "UIUC"'))
+        assert [str(s.binding("W")) for s in solutions] == ['"Alice"']
+
+    def test_credential_body_with_builtin(self):
+        world = make_world()
+        holder = world.add_peer("Holder")
+        world.issuer("IBM")
+        world.distribute_keys()
+        world.give_credentials(
+            "Holder",
+            'authorized("Bob", Price) @ "IBM" <- signedBy ["IBM"] Price < 2000.')
+        ctx = context_for(holder, allow_remote=False)
+        assert ctx.query_goal(parse_literal('authorized("Bob", 1500) @ "IBM"'))
+        assert not ctx.query_goal(parse_literal('authorized("Bob", 2500) @ "IBM"'))
+
+    def test_proof_carries_credential_payload(self):
+        world = make_world()
+        holder = world.add_peer("Holder")
+        world.issuer("UIUC")
+        world.distribute_keys()
+        issued = world.give_credentials(
+            "Holder", 'student("Alice") @ "UIUC" signedBy ["UIUC"].')
+        ctx = context_for(holder, allow_remote=False)
+        solution = ctx.query_goal(parse_literal('student("Alice") @ "UIUC"'))[0]
+        assert solution.proofs[0].credentials() == [issued[0]]
+
+
+class TestAuthorityReduction:
+    def test_self_layer_dropped(self):
+        world = make_world()
+        peer = world.add_peer("Me", "fact(1).")
+        ctx = context_for(peer, allow_remote=False)
+        assert ctx.query_goal(parse_literal('fact(1) @ "Me"'))
+
+    def test_drop_peers_layer(self):
+        world = make_world()
+        peer = world.add_peer("Me", "fact(1).")
+        ctx = context_for(peer, allow_remote=False,
+                          drop_peers=frozenset({"Friend"}))
+        assert ctx.query_goal(parse_literal('fact(1) @ "Me" @ "Friend"'))
+
+    def test_unknown_layer_fails_without_remote(self):
+        world = make_world()
+        peer = world.add_peer("Me", "fact(1).")
+        ctx = context_for(peer, allow_remote=False)
+        assert not ctx.query_goal(parse_literal('fact(1) @ "Stranger"'))
+
+    def test_unbound_authority_counts_and_fails(self):
+        world = make_world()
+        peer = world.add_peer("Me", "fact(1).")
+        session = Session("s-unbound", "Asker")
+        ctx = context_for(peer, session=session, allow_remote=False)
+        assert not ctx.query_goal(parse_literal("fact(1) @ Somebody"))
+        assert session.counters["unbound_authority"] >= 1
+
+
+class TestRemoteEvaluation:
+    def build_pair(self, **asker_options):
+        world = make_world()
+        oracle = world.add_peer("Oracle", """
+            wisdom(42).
+            wisdom(X) $ true <-{true} wisdom(X).
+        """)
+        asker = world.add_peer("Asker", **asker_options)
+        world.distribute_keys()
+        return world, oracle, asker
+
+    def test_remote_query_with_answer_credential(self):
+        world, _, asker = self.build_pair()
+        ctx = context_for(asker, requester="Asker")
+        solutions = ctx.query_goal(parse_literal('wisdom(W) @ "Oracle"'))
+        assert [str(s.binding("W")) for s in solutions] == ["42"]
+        # proof is a certified remote node
+        assert solutions[0].proofs[0].kind in ("remote", "evidence-drop")
+
+    def test_uncertified_answer_rejected_by_default(self):
+        world = make_world()
+        # Oracle asserts something about a *different* authority, unverifiable.
+        world.add_peer("Oracle", """
+            claim(1) @ "Zeus".
+            claim(X) @ Y $ true <-{true} claim(X) @ Y.
+        """)
+        asker = world.add_peer("Asker")
+        world.issuer("Zeus")
+        world.distribute_keys()
+        session = world.transport.sessions.get_or_create("s-uncert", "Asker")
+        ctx = context_for(asker, session=session)
+        assert not ctx.query_goal(parse_literal('claim(1) @ "Zeus" @ "Oracle"'))
+        assert session.counters["uncertified_answers"] >= 1
+
+    def test_assertion_mode_accepts_when_opted_in(self):
+        world = make_world()
+        world.add_peer("Oracle", """
+            claim(1) @ "Zeus".
+            claim(X) @ Y $ true <-{true} claim(X) @ Y.
+        """)
+        asker = world.add_peer("Asker", require_certified_answers=False)
+        world.issuer("Zeus")
+        world.distribute_keys()
+        ctx = context_for(asker)
+        solutions = ctx.query_goal(parse_literal('claim(1) @ "Zeus" @ "Oracle"'))
+        assert solutions and solutions[0].proofs[0].kind == "asserted"
+
+    def test_loop_guard_prevents_reentry(self):
+        world = make_world()
+        # Two peers, each delegating to the other: a ping-pong loop.
+        world.add_peer("A", 'claim(X) $ true <- claim(X) @ "B".')
+        world.add_peer("B", 'claim(X) $ true <- claim(X) @ "A".')
+        client = world.add_peer("Client")
+        world.distribute_keys()
+        session = world.transport.sessions.get_or_create("s-loop", "Client")
+        ctx = context_for(client, session=session)
+        assert not ctx.query_goal(parse_literal('claim(1) @ "A"'))
+        assert session.counters["loops_detected"] >= 1
+
+    def test_evidence_drop_skips_network(self):
+        """Once evidence is in hand, repeated guard checks do not re-query."""
+        world, _, asker = self.build_pair()
+        session = world.transport.sessions.get_or_create("s-evidence", "Asker")
+        ctx = context_for(asker, session=session)
+        goal = parse_literal('wisdom(42) @ "Oracle"')
+        assert ctx.query_goal(goal, max_solutions=1)
+        messages_before = world.stats.messages
+        ctx2 = context_for(asker, session=session)
+        assert ctx2.query_goal(goal, max_solutions=1)
+        assert world.stats.messages == messages_before  # no new traffic
+
+
+class TestEvidenceContext:
+    def test_evidence_context_rederives(self):
+        world = make_world()
+        holder = world.add_peer("Holder")
+        world.issuer("UIUC")
+        world.distribute_keys()
+        world.give_credentials("Holder", 'student("Alice") @ "UIUC" signedBy ["UIUC"].')
+        session = Session("s-ev", "Holder")
+        evidence = evidence_context(holder, session, vouching_peer="Alice")
+        proof = evidence.derive_evidence(
+            parse_literal('student("Alice") @ "UIUC" @ "Alice"'))
+        assert proof is not None
+
+    def test_evidence_ignores_unsigned_rules(self):
+        world = make_world()
+        holder = world.add_peer("Holder", "secretly(1).")
+        world.distribute_keys()
+        session = Session("s-ev2", "Holder")
+        evidence = evidence_context(holder, session, vouching_peer="X")
+        assert evidence.derive_evidence(parse_literal("secretly(1)")) is None

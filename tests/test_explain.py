@@ -1,0 +1,102 @@
+"""Proof-explanation tests."""
+
+import pytest
+
+from repro.datalog.explain import explain, explain_solution, provenance
+from repro.datalog.parser import parse_goals, parse_literal
+from repro.world import World
+
+KEY_BITS = 512
+
+
+@pytest.fixture
+def student_world():
+    world = World(key_bits=KEY_BITS)
+    holder = world.add_peer("Alice")
+    world.issuer("UIUC")
+    world.issuer("Registrar")
+    world.distribute_keys()
+    world.give_credentials("Alice", '''
+        student(X) @ "UIUC" <- signedBy ["UIUC"] student(X) @ "Registrar".
+        student("Alice") @ "Registrar" signedBy ["Registrar"].
+    ''')
+    return world, holder
+
+
+class TestExplain:
+    def test_local_rule_and_fact(self, engine_for):
+        engine = engine_for("a(X) <- b(X). b(1).")
+        solution = engine.query(parse_goals("a(X)"))[0]
+        text = explain(solution.proofs[0])
+        assert "derived by a local rule" in text
+        assert "locally stated fact" in text
+
+    def test_builtin(self, engine_for):
+        engine = engine_for("ok(X) <- X < 10.")
+        solution = engine.query(parse_goals("ok(5)"))[0]
+        assert "checked by computation" in explain(solution.proofs[0])
+
+    def test_negation(self, engine_for):
+        engine = engine_for("good(X) <- base(X), not bad(X). base(1).")
+        solution = engine.query(parse_goals("good(1)"))[0]
+        assert "no proof of the positive statement" in explain(solution.proofs[0])
+
+    def test_credential_chain(self, student_world):
+        world, holder = student_world
+        solution = holder.local_query(
+            parse_literal('student("Alice") @ "UIUC"'), allow_remote=False)[0]
+        text = explain(solution.proofs[0])
+        assert "signed by UIUC" in text
+        assert "signed by Registrar" in text
+        assert "whose conditions hold" in text
+
+    def test_remote_certified(self):
+        world = World(key_bits=KEY_BITS)
+        world.add_peer("Oracle", 'wisdom(42).\nwisdom(X) $ true <-{true} wisdom(X).')
+        asker = world.add_peer("Asker")
+        world.distribute_keys()
+        solution = asker.local_query(parse_literal('wisdom(W) @ "Oracle"'),
+                                     max_solutions=1)[0]
+        text = explain(solution.proofs[0])
+        assert "answered by peer 'Oracle'" in text
+        assert "re-verified" in text
+
+    def test_asserted_flagged_loudly(self):
+        world = World(key_bits=KEY_BITS)
+        world.add_peer("Oracle",
+                       'claim(1) @ "Zeus".\nclaim(X) @ Y $ true <-{true} claim(X) @ Y.')
+        asker = world.add_peer("Asker", require_certified_answers=False)
+        world.issuer("Zeus")
+        world.distribute_keys()
+        solution = asker.local_query(
+            parse_literal('claim(1) @ "Zeus" @ "Oracle"'), max_solutions=1)[0]
+        assert "ASSERTED" in explain(solution.proofs[0])
+
+    def test_explain_solution_title(self, engine_for):
+        engine = engine_for("a(1).")
+        solution = engine.query(parse_goals("a(1)"))[0]
+        text = explain_solution(solution, title="Why a(1)?")
+        assert text.startswith("Why a(1)?")
+
+
+class TestProvenance:
+    def test_credential_chain_provenance(self, student_world):
+        world, holder = student_world
+        solution = holder.local_query(
+            parse_literal('student("Alice") @ "UIUC"'), allow_remote=False)[0]
+        assert provenance(solution.proofs[0]) == ["UIUC", "Registrar"]
+
+    def test_local_proof_has_empty_provenance(self, engine_for):
+        engine = engine_for("a(X) <- b(X). b(1).")
+        solution = engine.query(parse_goals("a(X)"))[0]
+        assert provenance(solution.proofs[0]) == []
+
+    def test_remote_answer_includes_peer(self):
+        world = World(key_bits=KEY_BITS)
+        world.add_peer("Oracle", 'wisdom(42).\nwisdom(X) $ true <-{true} wisdom(X).')
+        asker = world.add_peer("Asker")
+        world.distribute_keys()
+        solution = asker.local_query(parse_literal('wisdom(W) @ "Oracle"'),
+                                     max_solutions=1)[0]
+        names = provenance(solution.proofs[0])
+        assert "Oracle" in names

@@ -1,0 +1,112 @@
+"""Distributed forward-chaining semantics vs the negotiation engine.
+
+Soundness: whatever a negotiation grants must be derivable in the §3.2
+saturation.  Completeness bound: a goal underivable in the saturation is
+never granted.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.parser import parse_literal
+from repro.negotiation.forward import distributed_fixpoint
+from repro.scenarios.elearn import build_scenario1, run_discount_negotiation
+from repro.scenarios.services import build_scenario2, run_free_enrollment
+from repro.workloads.generator import (
+    build_alternating_chain,
+    build_cyclic_release,
+    build_delegation_chain,
+    build_random_bilateral,
+)
+from repro.workloads.metrics import measure_negotiation
+
+KEY_BITS = 512
+
+
+class TestScenarioAgreement:
+    def test_scenario1_saturation_derives_grant(self):
+        scenario = build_scenario1(key_bits=KEY_BITS)
+        saturation = distributed_fixpoint(scenario.world)
+        assert saturation.derivable(
+            "E-Learn", parse_literal('discountEnroll(spanish205, "Alice")'))
+        # And the negotiation agrees.
+        assert run_discount_negotiation(build_scenario1(key_bits=KEY_BITS)).granted
+
+    def test_scenario1_initiator_hears_grant(self):
+        scenario = build_scenario1(key_bits=KEY_BITS)
+        saturation = distributed_fixpoint(scenario.world)
+        assert saturation.derivable(
+            "Alice",
+            parse_literal('discountEnroll(spanish205, "Alice") @ "E-Learn"'))
+
+    def test_scenario2_free_course(self):
+        scenario = build_scenario2(key_bits=KEY_BITS)
+        saturation = distributed_fixpoint(scenario.world)
+        assert saturation.derivable(
+            "E-Learn",
+            parse_literal('enroll(cs101, "Bob", "IBM", "Bob@ibm.com", 0)'))
+
+    def test_scenario2_counterfactual_underivable(self):
+        scenario = build_scenario2(key_bits=KEY_BITS, ibm_in_elena=False)
+        saturation = distributed_fixpoint(scenario.world)
+        assert not saturation.derivable(
+            "E-Learn",
+            parse_literal('enroll(cs101, "Bob", "IBM", "Bob@ibm.com", 0)'))
+
+
+class TestWorkloadAgreement:
+    def test_delegation_chain(self):
+        workload = build_delegation_chain(3, key_bits=KEY_BITS)
+        saturation = distributed_fixpoint(workload.world)
+        assert saturation.derivable("Server", parse_literal('resource("Client")'))
+
+    def test_cyclic_release_underivable_and_never_granted(self):
+        workload = build_cyclic_release(key_bits=KEY_BITS)
+        saturation = distributed_fixpoint(workload.world)
+        assert not saturation.derivable("Server", parse_literal('resource("Client")'))
+        assert not measure_negotiation(workload)[0].granted
+
+    def test_alternating_chain(self):
+        workload = build_alternating_chain(3, key_bits=KEY_BITS)
+        saturation = distributed_fixpoint(workload.world)
+        assert saturation.derivable("Server", parse_literal('resource("Client")'))
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_negotiation_sound_wrt_saturation(self, seed):
+        """granted(goal) ⇒ saturation derives goal at the provider."""
+        workload = build_random_bilateral(seed, key_bits=KEY_BITS)
+        result, _ = measure_negotiation(workload)
+        saturation = distributed_fixpoint(workload.world)
+        derivable = saturation.derivable("Server", workload.goal)
+        if result.granted:
+            assert derivable
+        if not derivable:
+            assert not result.granted
+
+
+class TestFixpointMechanics:
+    def test_rounds_and_sends_reported(self):
+        scenario = build_scenario1(key_bits=KEY_BITS)
+        saturation = distributed_fixpoint(scenario.world)
+        assert saturation.rounds >= 2 and saturation.sends > 0
+
+    def test_facts_of_lists_peer_state(self):
+        scenario = build_scenario1(key_bits=KEY_BITS)
+        saturation = distributed_fixpoint(scenario.world)
+        alice_facts = saturation.facts_of("Alice")
+        assert any(f.predicate == "student" for f in alice_facts)
+
+    def test_subset_of_peers(self):
+        scenario = build_scenario1(key_bits=KEY_BITS)
+        saturation = distributed_fixpoint(scenario.world, peers=["Alice"])
+        assert "E-Learn" not in saturation.states
+
+    def test_nonconvergence_guard(self):
+        from repro.errors import EvaluationError
+        from repro.world import World
+
+        world = World(key_bits=KEY_BITS)
+        world.add_peer("P", "grow(z). grow(s(X)) <- grow(X).")
+        with pytest.raises(EvaluationError):
+            distributed_fixpoint(world, max_rounds=5)

@@ -1,0 +1,133 @@
+"""Unit tests for the PeerTrust tokeniser."""
+
+import pytest
+
+from repro.datalog.lexer import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    PUNCT,
+    STRING,
+    VAR,
+    tokenize,
+)
+from repro.errors import ParseError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_is_just_eof(self):
+        assert kinds("") == [EOF]
+
+    def test_ident(self):
+        assert kinds("price")[:1] == [IDENT]
+
+    def test_variable_uppercase(self):
+        assert kinds("Course")[:1] == [VAR]
+
+    def test_variable_underscore(self):
+        assert kinds("_anon")[:1] == [VAR]
+
+    def test_string(self):
+        tokens = tokenize('"E-Learn"')
+        assert tokens[0].kind == STRING and tokens[0].text == "E-Learn"
+
+    def test_integer(self):
+        assert tokenize("2000")[0].text == "2000"
+
+    def test_float(self):
+        assert tokenize("3.5")[0].text == "3.5"
+
+    def test_number_then_rule_dot(self):
+        # "price(1)." — the trailing dot is a terminator, not a decimal point
+        assert texts("f(1).") == ["f", "(", "1", ")", "."]
+
+    def test_keywords(self):
+        for word in ("signedBy", "not", "true"):
+            assert tokenize(word)[0].kind == KEYWORD
+
+    def test_mixed_case_ident_is_ident(self):
+        assert tokenize("policeOfficer")[0].kind == IDENT
+
+
+class TestOperators:
+    def test_arrow(self):
+        assert texts("a <- b") == ["a", "<-", "b"]
+
+    def test_prolog_arrow(self):
+        assert texts("a :- b") == ["a", ":-", "b"]
+
+    def test_comparison_longest_match(self):
+        assert texts("X <= Y") == ["X", "<=", "Y"]
+        assert texts("X < Y") == ["X", "<", "Y"]
+        assert texts("X != Y") == ["X", "!=", "Y"]
+
+    def test_authority_and_context(self):
+        assert texts('p @ "A" $ q') == ["p", "@", "A", "$", "q"]
+
+    def test_braces_brackets(self):
+        assert texts("{ } [ ]") == ["{", "}", "[", "]"]
+
+    def test_arithmetic(self):
+        assert texts("A + B * C / D - E") == ["A", "+", "B", "*", "C", "/", "D", "-", "E"]
+
+
+class TestStringsEscapes:
+    def test_escaped_quote(self):
+        assert tokenize(r'"a\"b"')[0].text == 'a"b'
+
+    def test_escaped_newline_tab(self):
+        assert tokenize(r'"a\nb\tc"')[0].text == "a\nb\tc"
+
+    def test_escaped_backslash(self):
+        assert tokenize(r'"a\\b"')[0].text == "a\\b"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"open')
+
+    def test_unknown_escape(self):
+        with pytest.raises(ParseError):
+            tokenize(r'"\q"')
+
+
+class TestComments:
+    def test_percent_comment(self):
+        assert texts("a % comment\nb") == ["a", "b"]
+
+    def test_double_slash_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* open")
+
+    def test_division_is_not_comment(self):
+        assert texts("A / B") == ["A", "/", "B"]
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("a\n  ^")
+        assert info.value.line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("#")

@@ -1,0 +1,138 @@
+"""Policy-linter tests."""
+
+import pytest
+
+from repro.policy.lint import lint_source, worst_severity
+
+
+def codes(source):
+    return [f.code for f in lint_source(source)]
+
+
+class TestUnsafeRules:
+    def test_unbound_head_variable(self):
+        findings = lint_source("p(X, Y) <- q(X).")
+        assert "P001" in [f.code for f in findings]
+        assert worst_severity(findings) == "error"
+
+    def test_nonground_fact(self):
+        assert "P001" in codes("p(X).")
+
+    def test_signed_nonground_fact_is_credential_template(self):
+        # Signed rules with variables are fine (authorized("Bob", Price)...).
+        assert "P001" not in codes('authorized("Bob", P) @ "IBM" '
+                                   '<- signedBy ["IBM"] P < 2000.')
+
+    def test_safe_rule_clean(self):
+        assert "P001" not in codes("p(X) <- q(X). q(1).")
+
+    def test_pseudovars_count_as_bound(self):
+        assert "P001" not in codes(
+            "greet(Requester) <- known(Requester). known(1).")
+
+
+class TestFlounderingGoals:
+    def test_unbindable_comparison(self):
+        assert "P002" in codes("p(X) <- q(X), Y < 3.")
+
+    def test_bindable_comparison_ok_any_order(self):
+        assert "P002" not in codes("p(C) <- P < 10, price(C, P). price(a, 1).")
+
+    def test_unbindable_negation(self):
+        assert "P003" in codes("p(X) <- q(X), not r(Y). q(1). r(2).")
+
+    def test_bindable_negation_ok(self):
+        assert "P003" not in codes(
+            "p(X) <- q(X), not r(X). q(1). r(2).")
+
+
+class TestUndefinedPredicates:
+    def test_missing_local_predicate(self):
+        assert "P004" in codes("p(X) <- ghost(X).")
+
+    def test_authority_goals_excused(self):
+        assert "P004" not in codes('p(X) <- cred(X) @ "CA" @ Requester.')
+
+    def test_builtins_excused(self):
+        assert "P004" not in codes("p(X) <- q(X), X < 9. q(1).")
+
+
+class TestShareability:
+    def test_private_predicate_flagged_info(self):
+        findings = lint_source("secret(1).")
+        p005 = [f for f in findings if f.code == "P005"]
+        assert p005 and p005[0].severity == "info"
+
+    def test_release_policy_silences_p005(self):
+        assert "P005" not in codes(
+            "c(1). c(X) $ true <-{true} c(X).")
+
+    def test_public_rule_silences_p005(self):
+        assert "P005" not in codes("open(X) <-{true} src(X). src(1) <-{true} true.")
+
+    def test_one_finding_per_predicate(self):
+        findings = [f for f in lint_source("s(1). s(2). s(3).")
+                    if f.code == "P005"]
+        assert len(findings) == 1
+
+
+class TestCredentialSanity:
+    def test_foreign_authority_credential(self):
+        findings = lint_source(
+            'student(X) @ "UIUC" signedBy ["Mallory"].')
+        assert "P006" in [f.code for f in findings]
+
+    def test_matching_authority_clean(self):
+        assert "P006" not in codes('student(X) @ "UIUC" signedBy ["UIUC"].')
+
+    def test_bare_head_credential_clean(self):
+        assert "P006" not in codes('visaCard("IBM") signedBy ["VISA"].')
+
+
+class TestStratification:
+    def test_unstratifiable_flagged(self):
+        assert "P007" in codes(
+            "p(X) <- r(X), not q(X). q(X) <- r(X), not p(X). r(1).")
+
+    def test_stratified_clean(self):
+        assert "P007" not in codes(
+            "p(X) <- r(X), not q(X). q(2). r(1).")
+
+
+class TestRequesterBlindGuards:
+    def test_guard_without_requester(self):
+        assert "P008" in codes(
+            "c(X) $ moonPhase(full) <-{true} c(X). moonPhase(full). c(1).")
+
+    def test_guard_with_requester_clean(self):
+        assert "P008" not in codes(
+            "c(X) $ member(Requester) <-{true} c(X). member(1). c(1).")
+
+    def test_dollar_true_clean(self):
+        assert "P008" not in codes("c(X) $ true <-{true} c(X). c(1).")
+
+
+class TestScenarioProgramsAreClean:
+    @pytest.mark.parametrize("module_attr", [
+        ("repro.scenarios.elearn", "ELEARN_PROGRAM"),
+        ("repro.scenarios.elearn", "ALICE_PROGRAM"),
+        ("repro.scenarios.services", "BOB_PROGRAM"),
+        ("repro.scenarios.services", "VISA_PROGRAM"),
+    ])
+    def test_no_errors_in_shipped_programs(self, module_attr):
+        import importlib
+
+        module_name, attribute = module_attr
+        source = getattr(importlib.import_module(module_name), attribute)
+        findings = lint_source(source)
+        errors = [f for f in findings if f.severity == "error"]
+        assert not errors, "\n".join(str(f) for f in errors)
+
+
+class TestWorstSeverity:
+    def test_empty(self):
+        assert worst_severity([]) is None
+
+    def test_orders(self):
+        findings = lint_source("secret(1). p(X, Y) <- q(X). q(1).")
+        assert worst_severity(findings) == "error"

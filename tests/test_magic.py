@@ -1,0 +1,110 @@
+"""Magic-set rewriting tests: equivalence and relevance restriction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.magic import magic_query, magic_transform
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.seminaive import seminaive_fixpoint
+from repro.errors import EvaluationError
+
+TRANSITIVE = """
+edge(a, b). edge(b, c). edge(c, d).
+edge(x, y). edge(y, z).
+path(X, Y) <- edge(X, Y).
+path(X, Y) <- edge(X, Z), path(Z, Y).
+"""
+
+
+class TestEquivalence:
+    def test_bound_free_query(self):
+        answers = magic_query(parse_program(TRANSITIVE),
+                              parse_literal("path(a, W)"))
+        assert {str(a) for a in answers} == {"path(a, b)", "path(a, c)", "path(a, d)"}
+
+    def test_bound_bound_query(self):
+        assert magic_query(parse_program(TRANSITIVE), parse_literal("path(a, d)"))
+        assert not magic_query(parse_program(TRANSITIVE), parse_literal("path(a, z)"))
+
+    def test_free_free_query_matches_full_fixpoint(self):
+        program = parse_program(TRANSITIVE)
+        answers = {str(a) for a in magic_query(program, parse_literal("path(U, V)"))}
+        full = seminaive_fixpoint(program)
+        expected = {str(f) for f in full.facts if f.predicate == "path"}
+        assert answers == expected
+
+    def test_edb_query_passthrough(self):
+        answers = magic_query(parse_program(TRANSITIVE), parse_literal("edge(a, W)"))
+        assert {str(a) for a in answers} == {"edge(a, b)"}
+
+
+class TestRelevance:
+    def test_magic_avoids_unreachable_component(self):
+        """With the query bound to 'a', the x/y/z component is irrelevant:
+        the magic program derives strictly fewer path facts."""
+        program = parse_program(TRANSITIVE)
+        magic = magic_transform(program, parse_literal("path(a, W)"))
+        restricted = magic.evaluate()
+        adorned_paths = [
+            f for f in restricted.facts if f.predicate.startswith("path$")
+        ]
+        full = seminaive_fixpoint(program)
+        full_paths = [f for f in full.facts if f.predicate == "path"]
+        assert len(adorned_paths) < len(full_paths)
+
+    def test_seed_has_query_constant(self):
+        magic = magic_transform(parse_program(TRANSITIVE),
+                                parse_literal("path(a, W)"))
+        assert "a" in str(magic.seed)
+
+
+class TestWithBuiltins:
+    def test_comparison_in_body(self):
+        program = parse_program("""
+        price(a, 100). price(b, 900). price(c, 5000).
+        link(a, b). link(b, c).
+        reachCheap(X, Y) <- link(X, Y), price(Y, P), P < 1000.
+        reachCheap(X, Y) <- link(X, Z), reachCheap(Z, Y).
+        """)
+        answers = magic_query(program, parse_literal("reachCheap(a, W)"))
+        assert {str(a) for a in answers} == {"reachCheap(a, b)"}
+
+
+class TestErrors:
+    def test_negation_rejected(self):
+        with pytest.raises(EvaluationError):
+            magic_transform(parse_program("p(X) <- q(X), not r(X). q(1)."),
+                            parse_literal("p(W)"))
+
+    def test_authority_chain_rejected(self):
+        with pytest.raises(EvaluationError):
+            magic_transform(parse_program('p(X) <- q(X) @ "A". q(1).'),
+                            parse_literal("p(W)"))
+
+    def test_compound_query_argument_is_free_adorned(self):
+        # A compound containing a variable adorns as free: no seed error,
+        # evaluation falls back to full relevant derivation.
+        answers = magic_query(parse_program("p(X) <- q(X). q(1)."),
+                              parse_literal("p(W)"))
+        assert {str(a) for a in answers} == {"p(1)"}
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from("abcd"), st.sampled_from("abcd")),
+    min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_property_magic_agrees_with_fixpoint(edges):
+    text = " ".join(f"edge({s}, {t})." for s, t in sorted(set(edges)))
+    text += (" path(X, Y) <- edge(X, Y)."
+             " path(X, Y) <- edge(X, Z), path(Z, Y).")
+    program = parse_program(text)
+    start = edges[0][0]
+    magic_answers = {
+        str(a) for a in magic_query(program, parse_literal(f"path({start}, W)"))
+    }
+    full = seminaive_fixpoint(program)
+    expected = {
+        str(f) for f in full.facts
+        if f.predicate == "path" and str(f.args[0]) == start
+    }
+    assert magic_answers == expected

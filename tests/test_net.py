@@ -1,0 +1,215 @@
+"""Message, registry, and transport tests."""
+
+import pytest
+
+from repro.credentials.credential import issue_credential
+from repro.crypto.keys import keypair_for
+from repro.datalog.parser import parse_literal, parse_rule
+from repro.errors import MessageTooLargeError, NetworkError, UnknownPeerError
+from repro.net.message import (
+    AnswerItem,
+    AnswerMessage,
+    DisclosureMessage,
+    Message,
+    PolicyMessage,
+    PolicyRequestMessage,
+    QueryMessage,
+)
+from repro.net.registry import PeerRegistry
+from repro.net.transport import (
+    Transport,
+    bandwidth_latency,
+    constant_latency,
+    jittered_latency,
+)
+
+KEY_BITS = 512
+
+
+class EchoPeer:
+    """Minimal MessageHandler for transport tests."""
+
+    def __init__(self, name, reply=True):
+        self.name = name
+        self.reply = reply
+        self.inbox = []
+
+    def handle(self, message):
+        self.inbox.append(message)
+        if not self.reply:
+            return None
+        return AnswerMessage(sender=self.name, receiver=message.sender,
+                             session_id=message.session_id,
+                             query_id=message.message_id, items=())
+
+
+def query(sender="a", receiver="b", text="ping"):
+    return QueryMessage(sender=sender, receiver=receiver, session_id="s1",
+                        goal=parse_literal(text))
+
+
+class TestMessages:
+    def test_message_ids_increase(self):
+        first = query()
+        second = query()
+        assert second.message_id > first.message_id
+
+    def test_query_wire_size_grows_with_goal(self):
+        small = query(text="p(a)")
+        large = query(text="p(a, b, c, d, e, f, g)")
+        assert large.wire_size() > small.wire_size()
+
+    def test_answer_failure_flag(self):
+        reply = AnswerMessage(sender="b", receiver="a", session_id="s1")
+        assert reply.is_failure
+
+    def test_answer_item_sizes_include_credentials(self):
+        keys = keypair_for("NetCA", KEY_BITS)
+        credential = issue_credential(
+            parse_rule('c("X") signedBy ["NetCA"].'), keys)
+        bare = AnswerItem(bindings={})
+        loaded = AnswerItem(bindings={}, credentials=(credential,))
+        assert loaded.wire_size() > bare.wire_size()
+
+    def test_disclosure_size(self):
+        keys = keypair_for("NetCA", KEY_BITS)
+        credential = issue_credential(
+            parse_rule('c("X") signedBy ["NetCA"].'), keys)
+        message = DisclosureMessage(sender="a", receiver="b", session_id="s",
+                                    credentials=(credential,))
+        assert message.wire_size() > 50
+
+    def test_policy_messages(self):
+        request = PolicyRequestMessage(sender="a", receiver="b",
+                                       session_id="s", policy_name="policy27")
+        reply = PolicyMessage(sender="b", receiver="a", session_id="s",
+                              policy_name="policy27",
+                              rules=(parse_rule("p(X) <- q(X)."),), granted=True)
+        assert request.wire_size() > 0 and reply.wire_size() > request.wire_size()
+
+    def test_kind_names(self):
+        assert query().kind == "QueryMessage"
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = PeerRegistry()
+        peer = EchoPeer("a")
+        registry.register(peer)
+        assert registry.get("a") is peer
+        assert registry.knows("a") and "a" in registry
+
+    def test_unknown_peer_raises(self):
+        with pytest.raises(UnknownPeerError):
+            PeerRegistry().get("ghost")
+
+    def test_conflicting_registration_rejected(self):
+        registry = PeerRegistry()
+        registry.register(EchoPeer("a"))
+        with pytest.raises(UnknownPeerError):
+            registry.register(EchoPeer("a"))
+
+    def test_re_register_same_object_ok(self):
+        registry = PeerRegistry()
+        peer = EchoPeer("a")
+        registry.register(peer)
+        registry.register(peer)
+        assert len(registry) == 1
+
+    def test_unregister(self):
+        registry = PeerRegistry()
+        registry.register(EchoPeer("a"))
+        registry.unregister("a")
+        assert not registry.knows("a")
+
+    def test_names_sorted(self):
+        registry = PeerRegistry()
+        registry.register(EchoPeer("zeta"))
+        registry.register(EchoPeer("alpha"))
+        assert registry.names() == ["alpha", "zeta"]
+
+
+class TestTransport:
+    def test_request_roundtrip_and_accounting(self):
+        transport = Transport(latency=constant_latency(2.0))
+        transport.register(EchoPeer("a"))
+        transport.register(EchoPeer("b"))
+        reply = transport.request(query())
+        assert isinstance(reply, AnswerMessage)
+        assert transport.stats.messages == 2
+        assert transport.stats.simulated_ms == pytest.approx(4.0)
+        assert transport.stats.by_kind["QueryMessage"] == 1
+
+    def test_send_one_way(self):
+        transport = Transport()
+        receiver = EchoPeer("b")
+        transport.register(EchoPeer("a"))
+        transport.register(receiver)
+        transport.send(query())
+        assert len(receiver.inbox) == 1
+        assert transport.stats.messages == 1
+
+    def test_missing_reply_is_protocol_violation(self):
+        transport = Transport()
+        transport.register(EchoPeer("a"))
+        transport.register(EchoPeer("b", reply=False))
+        with pytest.raises(NetworkError):
+            transport.request(query())
+
+    def test_unknown_receiver(self):
+        transport = Transport()
+        transport.register(EchoPeer("a"))
+        with pytest.raises(UnknownPeerError):
+            transport.send(query(receiver="ghost"))
+
+    def test_size_limit(self):
+        transport = Transport(max_message_bytes=10)
+        transport.register(EchoPeer("a"))
+        transport.register(EchoPeer("b"))
+        with pytest.raises(MessageTooLargeError):
+            transport.send(query())
+
+    def test_drop_injection(self):
+        transport = Transport(drop=lambda m: m.kind == "QueryMessage")
+        transport.register(EchoPeer("a"))
+        transport.register(EchoPeer("b"))
+        with pytest.raises(NetworkError):
+            transport.request(query())
+
+    def test_reset_stats(self):
+        transport = Transport()
+        transport.register(EchoPeer("a"))
+        transport.register(EchoPeer("b"))
+        transport.send(query())
+        previous = transport.reset_stats()
+        assert previous.messages == 1 and transport.stats.messages == 0
+
+    def test_register_sets_backreference(self):
+        transport = Transport()
+        peer = EchoPeer("a")
+        transport.register(peer)
+        assert peer.transport is transport  # type: ignore[attr-defined]
+
+    def test_per_link_counts(self):
+        transport = Transport()
+        transport.register(EchoPeer("a"))
+        transport.register(EchoPeer("b"))
+        transport.send(query())
+        transport.send(query())
+        assert transport.stats.by_link[("a", "b")] == 2
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = constant_latency(5.0)
+        assert model("a", "b", 0) == model("a", "b", 10_000) == 5.0
+
+    def test_bandwidth_scales_with_size(self):
+        model = bandwidth_latency(base_ms=1.0, ms_per_kb=1.0)
+        assert model("a", "b", 2048) == pytest.approx(3.0)
+
+    def test_jitter_deterministic_per_seed(self):
+        first = jittered_latency(seed=7)
+        second = jittered_latency(seed=7)
+        assert [first("a", "b", 0) for _ in range(5)] == [
+            second("a", "b", 0) for _ in range(5)]

@@ -1,0 +1,272 @@
+"""Unit and round-trip tests for the PeerTrust parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datalog.ast import Literal, Rule
+from repro.datalog.parser import (
+    parse_goals,
+    parse_literal,
+    parse_program,
+    parse_rule,
+    parse_term,
+)
+from repro.datalog.terms import Compound, Constant, Variable
+from repro.errors import ParseError
+
+
+class TestTerms:
+    def test_atom(self):
+        assert parse_term("cs101") == Constant("cs101")
+
+    def test_string(self):
+        assert parse_term('"E-Learn"') == Constant("E-Learn", quoted=True)
+
+    def test_integer_and_float(self):
+        assert parse_term("42") == Constant(42)
+        assert parse_term("2.5") == Constant(2.5)
+
+    def test_negative_number_folds(self):
+        assert parse_term("-3") == Constant(-3)
+
+    def test_variable(self):
+        assert parse_term("Course") == Variable("Course")
+
+    def test_compound(self):
+        term = parse_term("price(cs411, 1000)")
+        assert isinstance(term, Compound)
+        assert term.functor == "price" and term.arity == 2
+
+    def test_nested_compound(self):
+        term = parse_term("f(g(X), h(1, 2))")
+        assert isinstance(term, Compound) and term.arity == 2
+
+    def test_arithmetic_precedence(self):
+        term = parse_term("1 + 2 * 3")
+        assert isinstance(term, Compound)
+        assert term.functor == "+"
+        assert isinstance(term.args[1], Compound) and term.args[1].functor == "*"
+
+    def test_parenthesised_expression(self):
+        term = parse_term("(1 + 2) * 3")
+        assert isinstance(term, Compound) and term.functor == "*"
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("a b")
+
+
+class TestLiterals:
+    def test_plain(self):
+        literal = parse_literal("freeCourse(cs101)")
+        assert literal.predicate == "freeCourse" and literal.arity == 1
+
+    def test_zero_arity(self):
+        assert parse_literal("ping").indicator == ("ping", 0)
+
+    def test_authority_chain_order(self):
+        literal = parse_literal('student(X) @ "UIUC" @ X')
+        assert [str(a) for a in literal.authority] == ['"UIUC"', "X"]
+        assert str(literal.evaluation_target) == "X"
+
+    def test_comparison(self):
+        literal = parse_literal("Price < 2000")
+        assert literal.predicate == "<" and literal.is_comparison
+
+    def test_equality_literal(self):
+        literal = parse_literal("Requester = Party")
+        assert literal.predicate == "="
+
+    def test_negation(self):
+        literal = parse_literal("not revokedCard(X)")
+        assert literal.negated
+        assert literal.positive().negated is False
+
+    def test_double_negation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_literal("not not p(X)")
+
+    def test_arithmetic_in_comparison(self):
+        literal = parse_literal("Balance + Price <= Limit")
+        assert literal.predicate == "<="
+        assert isinstance(literal.args[0], Compound)
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("freeCourse(cs101).")
+        assert rule.is_fact and rule.guard is None and rule.rule_context is None
+
+    def test_rule_with_body(self):
+        rule = parse_rule("a(X) <- b(X), c(X).")
+        assert len(rule.body) == 2
+
+    def test_prolog_arrow_synonym(self):
+        assert parse_rule("a(X) :- b(X).") == parse_rule("a(X) <- b(X).")
+
+    def test_guard_true_is_empty_tuple(self):
+        rule = parse_rule("r(X) $ true <- b(X).")
+        assert rule.guard == () and rule.is_release_policy
+
+    def test_guard_goals(self):
+        rule = parse_rule('c(X) @ Y $ m(Requester) @ "BBB" @ Requester <-{true} c(X) @ Y.')
+        assert rule.guard is not None and len(rule.guard) == 1
+        assert rule.rule_context == ()
+
+    def test_guard_comparison(self):
+        rule = parse_rule("d(C, P) $ Requester = P <- d(C, P).")
+        assert rule.guard is not None and rule.guard[0].predicate == "="
+
+    def test_rule_context_absent_is_none(self):
+        assert parse_rule("a(X) <- b(X).").rule_context is None
+
+    def test_rule_context_goals(self):
+        rule = parse_rule("a(X) <-{m(Requester)} b(X).")
+        assert rule.rule_context is not None
+        assert rule.rule_context[0].predicate == "m"
+
+    def test_signed_fact(self):
+        rule = parse_rule('member("E-Learn") @ "BBB" signedBy ["BBB"].')
+        assert rule.is_signed and str(rule.signers[0]) == '"BBB"'
+
+    def test_signed_rule_after_arrow(self):
+        rule = parse_rule(
+            'student(X) @ "UIUC" <- signedBy ["UIUC"] student(X) @ "UIUC Registrar".')
+        assert rule.is_signed and len(rule.body) == 1
+
+    def test_signed_rule_with_comparison_body(self):
+        rule = parse_rule(
+            'authorized("Bob", Price) @ "IBM" <- signedBy ["IBM"] Price < 2000.')
+        assert rule.is_signed and rule.body[0].predicate == "<"
+
+    def test_multiple_signers(self):
+        rule = parse_rule('a(X) signedBy ["A", "B"].')
+        assert len(rule.signers) == 2
+
+    def test_duplicate_signed_by_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule('a(X) signedBy ["A"] <- signedBy ["B"] b(X).')
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("not a(X) <- b(X).")
+
+    def test_comparison_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("X < 2 <- b(X).")
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("a(X) <- b(X)")
+
+    def test_empty_body_via_true(self):
+        rule = parse_rule("a(X) <- true.")
+        assert rule.body == () and not rule.is_fact or rule.is_fact
+        # `a(X) <- true.` has an empty body: it is a fact-shaped rule
+        assert rule.body == ()
+
+    def test_true_as_functor_still_parses(self):
+        rule = parse_rule("a(X) <- true(X).")
+        assert rule.body[0].predicate == "true"
+
+
+class TestPrograms:
+    def test_multiple_rules(self):
+        program = parse_program("a(1). a(2). b(X) <- a(X).")
+        assert len(program) == 3
+
+    def test_comments_between_rules(self):
+        program = parse_program("% catalogue\na(1).\n/* more */\na(2).")
+        assert len(program) == 2
+
+    def test_empty_program(self):
+        assert parse_program("") == []
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("a(1).\nb(2\n.")
+        assert info.value.line in (2, 3)
+
+
+class TestGoals:
+    def test_true_is_empty_conjunction(self):
+        assert parse_goals("true") == ()
+
+    def test_conjunction(self):
+        goals = parse_goals("a(X), X < 3, not b(X)")
+        assert [g.predicate for g in goals] == ["a", "<", "b"]
+
+
+PAPER_RULES = [
+    'discountEnroll(Course, Party) $ Requester = Party <- discountEnroll(Course, Party).',
+    'eligibleForDiscount(X, Course) <- preferred(X) @ "ELENA".',
+    'preferred(X) @ "ELENA" <- signedBy ["ELENA"] student(X) @ "UIUC".',
+    'student(X) @ University <- student(X) @ University @ X.',
+    'member("E-Learn") @ "BBB" signedBy ["BBB"].',
+    'freeEnroll(Course, Requester) $ true <- policeOfficer(Requester) @ "CSP" @ Requester, spanishCourse(Course).',
+    'student(X) @ Y $ member(Requester) @ "BBB" @ Requester <-{true} student(X) @ Y.',
+    'authorized("Bob", Price) @ X $ member(Requester) @ "ELENA" <-{true} authorized("Bob", Price) @ X.',
+    'visaCard("IBM") signedBy ["VISA"].',
+    'policy27(Requester) <- authorizedMerchant(Requester) @ "VISA" @ Requester, member(Requester) @ "ELENA".',
+    'enroll(Course, Requester, Company, Email, 0) <-{true} freeCourse(Course), freebieEligible(Course, Requester, Company, Email).',
+    'policy49(Course, Requester, Company, Price) <-{true} price(Course, Price), authorized(Requester, Price) @ Company @ Requester, visaCard(Company) @ "VISA" @ Requester, purchaseApproved(Company, Price) @ "VISA".',
+    'policy49(C, R, Co, P) <-{true} authority(purchaseApproved, Authority) @ myBroker, purchaseApproved(Co, P) @ Authority.',
+]
+
+
+@pytest.mark.parametrize("source", PAPER_RULES)
+def test_every_paper_rule_parses(source):
+    rule = parse_rule(source)
+    assert isinstance(rule, Rule)
+
+
+@pytest.mark.parametrize("source", PAPER_RULES)
+def test_paper_rules_round_trip(source):
+    """str(rule) must re-parse to an equal rule."""
+    rule = parse_rule(source)
+    assert parse_rule(str(rule)) == rule
+
+
+# -- generative round trip ---------------------------------------------------
+
+_atoms = st.sampled_from(["a", "bb", "cs101", "price"])
+_variables = st.sampled_from(["X", "Y", "Course", "Requester"])
+_strings = st.sampled_from(["UIUC", "E-Learn", "a b"])
+
+
+@st.composite
+def literals(draw):
+    predicate = draw(_atoms)
+    arity = draw(st.integers(0, 3))
+    args = tuple(
+        draw(st.one_of(
+            _atoms.map(lambda a: Constant(a)),
+            _variables.map(Variable),
+            _strings.map(lambda s: Constant(s, quoted=True)),
+            st.integers(0, 99).map(Constant),
+        ))
+        for _ in range(arity)
+    )
+    chain_length = draw(st.integers(0, 2))
+    authority = tuple(
+        draw(st.one_of(_strings.map(lambda s: Constant(s, quoted=True)),
+                       _variables.map(Variable)))
+        for _ in range(chain_length)
+    )
+    return Literal(predicate, args, authority)
+
+
+@st.composite
+def rules(draw):
+    head = draw(literals())
+    body = tuple(draw(st.lists(literals(), max_size=3)))
+    guard = draw(st.one_of(st.none(), st.lists(literals(), max_size=2).map(tuple)))
+    context = draw(st.one_of(st.none(), st.just(())))
+    signers = tuple(draw(st.lists(
+        _strings.map(lambda s: Constant(s, quoted=True)), max_size=2)))
+    return Rule(head, body, guard, context, signers)
+
+
+@given(rules())
+def test_property_rule_rendering_round_trips(rule):
+    assert parse_rule(str(rule)) == rule

@@ -1,0 +1,62 @@
+"""Program formatting tests."""
+
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.pretty import format_literal, format_program, format_rule
+
+
+class TestFormatRule:
+    def test_short_rule_single_line(self):
+        rule = parse_rule("a(X) <- b(X).")
+        assert "\n" not in format_rule(rule)
+
+    def test_long_rule_wraps(self):
+        rule = parse_rule(
+            "policy49(Course, Requester, Company, Price) <-{true} "
+            "price(Course, Price), "
+            'authorized(Requester, Price) @ Company @ Requester, '
+            'visaCard(Company) @ "VISA" @ Requester, '
+            'purchaseApproved(Company, Price) @ "VISA".')
+        text = format_rule(rule)
+        assert "\n" in text
+        assert text.endswith(".")
+
+    def test_wrapped_rule_reparses(self):
+        rule = parse_rule(
+            "freebieEligible(Course, Requester, Company, EMail) <- "
+            "email(Requester, EMail) @ Requester, "
+            "employee(Requester) @ Company @ Requester, "
+            'member(Company) @ "ELENA" @ Requester.')
+        assert parse_rule(format_rule(rule)) == rule
+
+    def test_signed_long_rule_keeps_signature(self):
+        rule = parse_rule(
+            'superLongPredicateName(A, B, C, D) <- signedBy ["Authority"] '
+            "one(A), two(B), three(C), four(D), five(A, B, C, D).")
+        text = format_rule(rule)
+        assert "signedBy" in text
+        assert parse_rule(text) == rule
+
+
+class TestFormatProgram:
+    def test_groups_by_predicate(self):
+        program = parse_program("a(1). a(2). b(1).")
+        text = format_program(program)
+        assert text.count("\n\n") == 1
+
+    def test_peer_banner(self):
+        program = parse_program("a(1).")
+        assert format_program(program, peer="E-Learn").startswith("% E-Learn:")
+
+    def test_round_trips(self):
+        source = """
+        discountEnroll(Course, Party) $ Requester = Party <- discountEnroll(Course, Party).
+        discountEnroll(Course, Party) <- eligibleForDiscount(Party, Course).
+        member("E-Learn") @ "BBB" signedBy ["BBB"].
+        """
+        program = parse_program(source)
+        assert parse_program(format_program(program)) == program
+
+    def test_format_literal(self):
+        from repro.datalog.parser import parse_literal
+
+        assert format_literal(parse_literal('p(X) @ "A"')) == 'p(X) @ "A"'

@@ -1,0 +1,137 @@
+"""N-Triples and RDF-mapping tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RDFError
+from repro.rdf.mapping import facts_from_triples, local_name, triples_from_facts
+from repro.rdf.ntriples import (
+    BlankNode,
+    IRI,
+    PlainLiteral,
+    Triple,
+    parse_ntriples,
+    serialize_ntriples,
+)
+
+SAMPLE = """
+# course metadata (Edutella-style)
+<http://elearn.example/course/cs101> <http://purl.org/dc/terms/title> "Intro CS" .
+<http://elearn.example/course/cs411> <http://elearn.example/ns#price> "1000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://elearn.example/course/cs101> <http://elearn.example/ns#freeCourse> "true" .
+_:b1 <http://elearn.example/ns#taughtBy> <http://elearn.example/staff/ana> .
+<http://elearn.example/course/cs101> <http://purl.org/dc/terms/title> "Einf\\u00fchrung"@de .
+""".replace("\\u00fc", "ü")
+
+
+class TestParsing:
+    def test_parse_counts(self):
+        assert len(parse_ntriples(SAMPLE)) == 5
+
+    def test_comments_and_blanks_skipped(self):
+        assert parse_ntriples("# only a comment\n\n") == []
+
+    def test_iri_nodes(self):
+        triple = parse_ntriples(SAMPLE)[0]
+        assert isinstance(triple.subject, IRI)
+        assert triple.subject.value.endswith("cs101")
+
+    def test_typed_literal(self):
+        triple = parse_ntriples(SAMPLE)[1]
+        assert isinstance(triple.object, PlainLiteral)
+        assert triple.object.datatype.value.endswith("integer")
+
+    def test_language_tag(self):
+        triple = parse_ntriples(SAMPLE)[4]
+        assert triple.object.language == "de"
+
+    def test_blank_node_subject(self):
+        triple = parse_ntriples(SAMPLE)[3]
+        assert isinstance(triple.subject, BlankNode)
+        assert triple.subject.label == "b1"
+
+    def test_escapes(self):
+        [triple] = parse_ntriples(r'<http://a> <http://b> "line\nbreak\t\"q\"" .')
+        assert triple.object.lexical == 'line\nbreak\t"q"'
+
+    @pytest.mark.parametrize("bad", [
+        '<http://a> <http://b> .',                 # missing object
+        '<http://a> <http://b> "x"',               # missing dot
+        '<unterminated <http://b> "x" .',
+        '"literal" <http://b> "x" .',              # literal subject
+        '<http://a> <http://b> "open .',
+        '_: <http://b> "x" .',                     # empty blank label
+        '<http://a> <http://b> "x" . trailing',
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(RDFError):
+            parse_ntriples(bad)
+
+    def test_literal_cannot_have_both_lang_and_type(self):
+        with pytest.raises(RDFError):
+            PlainLiteral("x", language="en", datatype=IRI("http://t"))
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        triples = parse_ntriples(SAMPLE)
+        again = parse_ntriples(serialize_ntriples(triples))
+        assert triples == again
+
+    @given(st.text(st.characters(blacklist_categories=("Cs", "Cc")), max_size=30))
+    def test_property_literal_round_trip(self, text):
+        triple = Triple(IRI("http://s"), IRI("http://p"), PlainLiteral(text))
+        [parsed] = parse_ntriples(str(triple))
+        assert parsed.object.lexical == text
+
+
+class TestMapping:
+    def test_local_name(self):
+        assert local_name(IRI("http://a/ns#price")) == "price"
+        assert local_name(IRI("http://a/course/cs101")) == "cs101"
+
+    def test_binary_mapping(self):
+        facts = facts_from_triples(parse_ntriples(SAMPLE), style="binary")
+        rendered = {str(f) for f in facts}
+        assert 'price(cs411, 1000).' in rendered
+        assert any(f.head.predicate == "title" for f in facts)
+
+    def test_numeric_literal_becomes_number(self):
+        facts = facts_from_triples(parse_ntriples(SAMPLE))
+        price = next(f for f in facts if f.head.predicate == "price")
+        assert price.head.args[1].value == 1000
+
+    def test_reified_mapping(self):
+        facts = facts_from_triples(parse_ntriples(SAMPLE), style="reified")
+        assert all(f.head.predicate == "triple" for f in facts)
+        assert all(f.head.arity == 3 for f in facts)
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            facts_from_triples([], style="fancy")
+
+    def test_bad_numeric_literal_rejected(self):
+        bad = Triple(IRI("http://s"), IRI("http://p#n"),
+                     PlainLiteral("not-a-number",
+                                  datatype=IRI("http://www.w3.org/2001/XMLSchema#integer")))
+        with pytest.raises(RDFError):
+            facts_from_triples([bad])
+
+    def test_facts_round_trip_through_triples(self):
+        facts = facts_from_triples(parse_ntriples(SAMPLE), style="binary")
+        triples = triples_from_facts(facts)
+        back = facts_from_triples(triples, style="binary")
+        assert {str(f) for f in back if f.head.predicate == "price"} == {
+            str(f) for f in facts if f.head.predicate == "price"}
+
+    def test_facts_feed_the_engine(self):
+        """RDF course metadata answers Datalog queries (the Edutella flow)."""
+        from repro.datalog.knowledge import KnowledgeBase
+        from repro.datalog.parser import parse_goals
+        from repro.datalog.sld import SLDEngine
+
+        base = KnowledgeBase(facts_from_triples(parse_ntriples(SAMPLE)))
+        base.load("affordable(C) <- price(C, P), P < 2000.")
+        engine = SLDEngine(base)
+        solutions = engine.query(parse_goals("affordable(C)"))
+        assert [str(s.binding("C")) for s in solutions] == ["cs411"]

@@ -1,0 +1,131 @@
+"""Scenario 1 (§4.1) — the paper's behavioural claims, verified.
+
+The headline claim: "With the current implementation of the PeerTrust
+run-time system and this set of policies, Alice will be able to access the
+discounted enrollment service at E-Learn."
+"""
+
+import pytest
+
+from repro.datalog.parser import parse_literal
+from repro.negotiation.strategies import negotiate
+from repro.scenarios.elearn import (
+    build_scenario1,
+    run_discount_negotiation,
+    run_free_police_enrollment,
+)
+
+KEY_BITS = 512
+
+
+@pytest.fixture
+def scenario():
+    return build_scenario1(key_bits=KEY_BITS)
+
+
+class TestDiscountEnrollment:
+    def test_negotiation_granted(self, scenario):
+        result = run_discount_negotiation(scenario)
+        assert result.granted
+
+    def test_course_bound(self, scenario):
+        result = run_discount_negotiation(scenario)
+        assert str(result.binding("Course")) == "spanish205"
+
+    def test_bbb_counter_query_happened(self, scenario):
+        """Alice must not release her student ID until E-Learn proves BBB
+        membership: the transcript shows her counter-query."""
+        result = run_discount_negotiation(scenario)
+        queries = [e for e in result.session.events("query")]
+        assert any('member("E-Learn") @ "BBB"' in e.detail
+                   and e.actor == "Alice" for e in queries)
+
+    def test_student_credentials_disclosed_after_bbb(self, scenario):
+        result = run_discount_negotiation(scenario)
+        events = list(result.session.transcript)
+        bbb_at = next(i for i, e in enumerate(events)
+                      if e.kind == "disclose" and "BBB" in e.detail)
+        student_at = next(i for i, e in enumerate(events)
+                          if e.kind == "disclose" and "student" in e.detail)
+        assert bbb_at < student_at
+
+    def test_delegation_chain_in_disclosures(self, scenario):
+        """Both the registrar-signed ID and the UIUC delegation rule travel."""
+        result = run_discount_negotiation(scenario)
+        disclosed = [e.detail for e in result.session.events("disclose")]
+        assert any("UIUC Registrar" in d for d in disclosed)
+        assert any('student(X) @ "UIUC"' in d for d in disclosed)
+
+    def test_elearn_keeps_elena_credential_private(self, scenario):
+        """E-Learn's signed 'preferred' definition has no release policy —
+        it is used internally but never disclosed."""
+        result = run_discount_negotiation(scenario)
+        disclosed = [e.detail for e in result.session.events("disclose")]
+        assert not any("preferred" in d for d in disclosed)
+
+    def test_only_party_may_ask(self, scenario):
+        """The `$ Requester = Party` release context: Mallory cannot ask
+        about Alice's discount."""
+        mallory = scenario.world.add_peer("Mallory")
+        scenario.world.distribute_keys()
+        goal = parse_literal('discountEnroll(Course, "Alice")')
+        result = negotiate(mallory, "E-Learn", goal)
+        assert not result.granted
+
+
+class TestFreePoliceEnrollment:
+    def test_granted_with_badge(self, scenario):
+        result = run_free_police_enrollment(scenario)
+        assert result.granted
+        assert str(result.binding("Course")) == "spanish205"
+
+    def test_badge_released_only_after_bbb_proof(self, scenario):
+        result = run_free_police_enrollment(scenario)
+        events = list(result.session.transcript)
+        badge_at = next(i for i, e in enumerate(events)
+                        if e.kind == "disclose" and "policeOfficer" in e.detail)
+        bbb_answer_at = next(i for i, e in enumerate(events)
+                             if e.kind == "receive" and e.actor == "Alice")
+        assert bbb_answer_at < badge_at
+
+    def test_spanish_only(self, scenario):
+        """freeEnroll covers Spanish courses only."""
+        goal = parse_literal('freeEnroll(french101, "Alice")')
+        result = negotiate(scenario.alice, "E-Learn", goal)
+        assert not result.granted
+
+
+class TestFailureModes:
+    def test_no_bbb_membership_blocks_everything(self):
+        """Without its BBB credential E-Learn cannot satisfy Alice's release
+        policy, so the negotiation fails (and terminates)."""
+        scenario = build_scenario1(key_bits=KEY_BITS)
+        for credential in list(scenario.elearn.credentials.credentials()):
+            if credential.rule.head.predicate == "member":
+                scenario.elearn.credentials.remove(credential.serial)
+        result = run_discount_negotiation(scenario)
+        assert not result.granted
+
+    def test_no_student_id_blocks_discount(self):
+        scenario = build_scenario1(key_bits=KEY_BITS)
+        for credential in list(scenario.alice.credentials.credentials()):
+            if credential.rule.head.predicate == "student":
+                scenario.alice.credentials.remove(credential.serial)
+        assert not run_discount_negotiation(scenario).granted
+        # The police badge path is unaffected:
+        assert run_free_police_enrollment(scenario).granted
+
+    def test_unknown_course_request(self, scenario):
+        goal = parse_literal('discountEnroll(basketweaving9, "Alice")')
+        assert not negotiate(scenario.alice, "E-Learn", goal).granted
+
+
+class TestStrategies:
+    def test_eager_also_succeeds(self, scenario):
+        result = run_discount_negotiation(scenario, strategy="eager")
+        assert result.granted
+
+    def test_metrics_shape(self, scenario):
+        result = run_discount_negotiation(scenario)
+        metrics = result.metrics()
+        assert metrics["granted"] and metrics["disclosures"] >= 3

@@ -1,0 +1,171 @@
+"""Scenario 2 (§4.2) — Bob / IBM / E-Learn / VISA claims, verified.
+
+Headline claims:
+- "With the PeerTrust run-time system and these policies, IBM employees
+  will be able to enroll in free courses at E-Learn."
+- "If IBM were not a member of ELENA, then IBM employees would not be
+  eligible for free courses, but Bob would be able to purchase courses."
+- Policy protection: the freebieEligible definition is privileged business
+  information and never leaves E-Learn.
+"""
+
+import pytest
+
+from repro.datalog.parser import parse_goals, parse_literal
+from repro.negotiation.strategies import negotiate
+from repro.net.message import PolicyRequestMessage
+from repro.scenarios.services import (
+    build_scenario2,
+    revoke_ibm_card,
+    run_free_enrollment,
+    run_paid_enrollment,
+)
+
+KEY_BITS = 512
+
+
+@pytest.fixture
+def scenario():
+    return build_scenario2(key_bits=KEY_BITS)
+
+
+class TestFreeEnrollment:
+    def test_granted(self, scenario):
+        result = run_free_enrollment(scenario)
+        assert result.granted
+
+    def test_bindings(self, scenario):
+        result = run_free_enrollment(scenario)
+        assert str(result.binding("Company")) == '"IBM"'
+        assert str(result.binding("Email")) == '"Bob@ibm.com"'
+
+    def test_employee_credential_gated_on_elena(self, scenario):
+        """Bob's release guard (ELENA membership) is satisfied from his
+        cached credential — no counter-query needed (paper: 'From previous
+        interactions, Bob also knows...')."""
+        result = run_free_enrollment(scenario)
+        disclosed = [e.detail for e in result.session.events("disclose")]
+        assert any("employee" in d for d in disclosed)
+
+    def test_non_free_course_rejected_on_free_path(self, scenario):
+        result = run_free_enrollment(scenario, course="cs411")
+        assert not result.granted
+
+
+class TestPaidEnrollment:
+    def test_granted_with_price(self, scenario):
+        result = run_paid_enrollment(scenario)
+        assert result.granted
+        assert str(result.binding("Price")) == "1000"
+
+    def test_visa_card_needs_policy27(self, scenario):
+        """Bob asks E-Learn to prove VISA-merchant status before showing the
+        card (the policy27 dance)."""
+        result = run_paid_enrollment(scenario)
+        queries = [e for e in result.session.events("query")]
+        assert any("authorizedMerchant" in e.detail and e.actor == "Bob"
+                   for e in queries)
+
+    def test_purchase_approval_queried_from_visa(self, scenario):
+        result = run_paid_enrollment(scenario)
+        queries = [e for e in result.session.events("query")]
+        assert any(e.counterpart == "VISA" and "purchaseApproved" in e.detail
+                   for e in queries)
+
+    def test_over_authorization_price_fails(self, scenario):
+        """cs500 costs 5000; Bob's IBM authorisation caps at 2000."""
+        result = run_paid_enrollment(scenario, course="cs500")
+        assert not result.granted
+
+    def test_unpriced_course_fails(self, scenario):
+        result = run_paid_enrollment(scenario, course="cs999")
+        assert not result.granted
+
+
+class TestCounterfactuals:
+    def test_ibm_not_in_elena(self):
+        scenario = build_scenario2(key_bits=KEY_BITS, ibm_in_elena=False)
+        assert not run_free_enrollment(scenario).granted
+        assert run_paid_enrollment(scenario).granted
+
+    def test_revoked_card_blocks_purchase_only(self, scenario):
+        revoke_ibm_card(scenario)
+        assert not run_paid_enrollment(scenario).granted
+        assert run_free_enrollment(scenario).granted
+
+    def test_plain_policy49_skips_visa(self):
+        scenario = build_scenario2(key_bits=KEY_BITS, revocation_check=False)
+        result = run_paid_enrollment(scenario)
+        assert result.granted
+        queries = [e for e in result.session.events("query")]
+        assert not any("purchaseApproved" in e.detail for e in queries)
+
+    def test_revoked_card_irrelevant_without_check(self):
+        scenario = build_scenario2(key_bits=KEY_BITS, revocation_check=False)
+        revoke_ibm_card(scenario)
+        assert run_paid_enrollment(scenario).granted
+
+
+class TestBrokeredAuthority:
+    def test_broker_variant_grants(self):
+        scenario = build_scenario2(key_bits=KEY_BITS, use_broker=True)
+        result = run_paid_enrollment(scenario)
+        assert result.granted
+
+    def test_broker_was_consulted(self):
+        scenario = build_scenario2(key_bits=KEY_BITS, use_broker=True)
+        result = run_paid_enrollment(scenario)
+        queries = [e for e in result.session.events("query")]
+        assert any(e.counterpart == "myBroker" for e in queries)
+
+
+class TestPolicyProtection:
+    def test_freebie_definition_never_crosses_wire(self, scenario):
+        """E3: no transcript event carries the freebieEligible rule body."""
+        result = run_free_enrollment(scenario)
+        for event in result.session.transcript:
+            if event.kind in ("disclose", "receive", "answer"):
+                assert "freebieEligible" not in event.detail
+
+    def test_freebie_rule_is_private(self, scenario):
+        from repro.policy.release import rule_shipping_obligations
+
+        rules = [r for r in scenario.elearn.kb.content_rules()
+                 if r.head.predicate == "freebieEligible"]
+        assert rules
+        assert rule_shipping_obligations(rules[0], "Bob", "E-Learn") is None
+
+    def test_unipro_dissemination_to_members(self, scenario):
+        """§4.2: 'ELENA member companies can disseminate the definition of
+        freebieEligible to their employees' — modelled with UniPro."""
+        scenario.elearn.unipro.register_from_kb(
+            scenario.elearn.kb, "freebieEligible", 4,
+            protection=parse_goals(
+                'employee(Requester) @ Company @ Requester, '
+                'member(Company) @ "ELENA" @ Requester'))
+        request = PolicyRequestMessage(
+            sender="Bob", receiver="E-Learn", session_id="s-unipro",
+            policy_name="freebieEligible")
+        reply = scenario.elearn.handle(request)
+        assert reply.granted and reply.rules
+        # Shipped rules carry no contexts.
+        assert all(rule.rule_context is None for rule in reply.rules)
+
+    def test_unipro_denied_to_stranger(self, scenario):
+        scenario.elearn.unipro.register_from_kb(
+            scenario.elearn.kb, "freebieEligible", 4,
+            protection=parse_goals(
+                'employee(Requester) @ Company @ Requester, '
+                'member(Company) @ "ELENA" @ Requester'))
+        stranger = scenario.world.add_peer("Stranger")
+        scenario.world.distribute_keys()
+        request = PolicyRequestMessage(
+            sender="Stranger", receiver="E-Learn", session_id="s-unipro2",
+            policy_name="freebieEligible")
+        assert not scenario.elearn.handle(request).granted
+
+
+class TestStrategies:
+    def test_eager_free_enrollment(self, scenario):
+        result = run_free_enrollment(scenario, strategy="eager")
+        assert result.granted

@@ -1,0 +1,151 @@
+"""Forward-chaining fixpoint tests: naive/semi-naive equivalence,
+stratified negation, safety, and agreement with the backward chainer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.knowledge import KnowledgeBase
+from repro.datalog.parser import parse_goals, parse_literal, parse_program
+from repro.datalog.seminaive import naive_fixpoint, seminaive_fixpoint
+from repro.datalog.sld import SLDEngine
+from repro.errors import BuiltinError, EvaluationError
+
+
+def facts_of(result, predicate):
+    return {str(f) for f in result.facts if f.predicate == predicate}
+
+
+TRANSITIVE = """
+edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+path(X, Y) <- edge(X, Y).
+path(X, Y) <- path(X, Z), edge(Z, Y).
+"""
+
+
+class TestFixpointBasics:
+    def test_facts_pass_through(self):
+        result = seminaive_fixpoint(parse_program("a(1). b(2)."))
+        assert facts_of(result, "a") == {"a(1)"}
+
+    def test_transitive_closure(self):
+        result = seminaive_fixpoint(parse_program(TRANSITIVE))
+        assert len(facts_of(result, "path")) == 10  # C(5,2) ordered pairs
+
+    def test_naive_matches_seminaive(self):
+        fast = seminaive_fixpoint(parse_program(TRANSITIVE))
+        slow = naive_fixpoint(parse_program(TRANSITIVE))
+        assert fast.facts == slow.facts
+
+    def test_seminaive_does_fewer_derivations(self):
+        program = parse_program(TRANSITIVE)
+        fast = seminaive_fixpoint(program)
+        slow = naive_fixpoint(program)
+        assert fast.derivations <= slow.derivations
+
+    def test_builtins_in_bodies(self):
+        result = seminaive_fixpoint(parse_program(
+            "price(a, 100). price(b, 5000). cheap(X) <- price(X, P), P < 1000."))
+        assert facts_of(result, "cheap") == {"cheap(a)"}
+
+    def test_authority_chains_in_facts(self):
+        result = seminaive_fixpoint(parse_program(
+            'student(alice) @ "UIUC". ok(X) <- student(X) @ "UIUC".'))
+        assert facts_of(result, "ok") == {"ok(alice)"}
+
+    def test_release_policies_excluded(self):
+        result = seminaive_fixpoint(parse_program(
+            "r(X) $ true <- a(X). a(1)."))
+        assert facts_of(result, "r") == set()
+
+    def test_holds_and_matching(self):
+        result = seminaive_fixpoint(parse_program("a(1). a(2)."))
+        assert result.holds(parse_literal("a(X)"))
+        assert len(result.matching(parse_literal("a(X)"))) == 2
+        assert not result.holds(parse_literal("a(3)"))
+
+    def test_by_predicate_grouping(self):
+        result = seminaive_fixpoint(parse_program("a(1). a(2). b(3)."))
+        grouped = result.by_predicate()
+        assert len(grouped[("a", 1)]) == 2
+
+
+class TestSafety:
+    def test_unsafe_rule_raises(self):
+        with pytest.raises(EvaluationError):
+            seminaive_fixpoint(parse_program("p(X, Y) <- q(X). q(1)."))
+
+    def test_non_ground_fact_raises(self):
+        with pytest.raises(EvaluationError):
+            seminaive_fixpoint(parse_program("p(X)."))
+
+    def test_divergent_function_symbols_hit_round_cap(self):
+        with pytest.raises(EvaluationError):
+            seminaive_fixpoint(parse_program("p(s(X)) <- p(X). p(z)."),
+                               max_rounds=25)
+
+
+class TestStratifiedNegation:
+    PROGRAM = """
+    account(ibm). account(acme).
+    revoked(acme).
+    approved(X) <- account(X), not revoked(X).
+    """
+
+    def test_negation(self):
+        result = seminaive_fixpoint(parse_program(self.PROGRAM))
+        assert facts_of(result, "approved") == {"approved(ibm)"}
+
+    def test_naive_negation_agrees(self):
+        assert (naive_fixpoint(parse_program(self.PROGRAM)).facts
+                == seminaive_fixpoint(parse_program(self.PROGRAM)).facts)
+
+    def test_two_strata(self):
+        program = parse_program("""
+        base(a). base(b). bad(a).
+        good(X) <- base(X), not bad(X).
+        verygood(X) <- good(X), not bad(X).
+        """)
+        result = seminaive_fixpoint(program)
+        assert facts_of(result, "verygood") == {"verygood(b)"}
+
+    def test_floundering_raises(self):
+        with pytest.raises((BuiltinError, EvaluationError)):
+            seminaive_fixpoint(parse_program(
+                "p(X) <- not q(X), r(X). r(1)."))
+
+    def test_unstratifiable_raises(self):
+        from repro.errors import StratificationError
+
+        with pytest.raises(StratificationError):
+            seminaive_fixpoint(parse_program(
+                "p(X) <- r(X), not q(X). q(X) <- r(X), not p(X). r(1)."))
+
+
+# -- agreement with the backward chainer --------------------------------------
+
+@st.composite
+def random_edge_programs(draw):
+    nodes = "abcde"
+    edge_count = draw(st.integers(1, 10))
+    edges = {
+        (draw(st.sampled_from(nodes)), draw(st.sampled_from(nodes)))
+        for _ in range(edge_count)
+    }
+    text = " ".join(f"edge({s}, {t})." for s, t in sorted(edges))
+    text += (" path(X, Y) <- edge(X, Y)."
+             " path(X, Y) <- edge(X, Z), path(Z, Y).")
+    return text
+
+
+@given(random_edge_programs())
+@settings(max_examples=30, deadline=None)
+def test_property_backward_tabled_agrees_with_forward(source):
+    """Tabled SLD and the semi-naive fixpoint compute the same path facts."""
+    program = parse_program(source)
+    forward = seminaive_fixpoint(program)
+    engine = SLDEngine(KnowledgeBase(program), tabled=True)
+    backward = {
+        str(solution.proofs[0].goal)
+        for solution in engine.query(parse_goals("path(X, Y)"))
+    }
+    assert backward == facts_of(forward, "path")

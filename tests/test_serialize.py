@@ -1,0 +1,157 @@
+"""Persistence round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.datalog.parser import parse_goals, parse_literal, parse_rule
+from repro.negotiation.strategies import negotiate
+from repro.serialize import (
+    SerializationError,
+    credential_from_dict,
+    credential_to_dict,
+    keypair_from_dict,
+    keypair_to_dict,
+    load_world,
+    peer_from_dict,
+    peer_to_dict,
+    public_key_from_dict,
+    public_key_to_dict,
+    save_world,
+    world_from_dict,
+    world_to_dict,
+)
+from repro.world import World
+
+KEY_BITS = 512
+
+
+def build_world():
+    world = World(key_bits=KEY_BITS)
+    world.add_peer("Server",
+                   'hello(Requester) $ true <- '
+                   'friend(Requester) @ "CA" @ Requester.')
+    world.add_peer("Client",
+                   'friend(X) @ Y $ true <-{true} friend(X) @ Y.')
+    world.issuer("CA")
+    world.distribute_keys()
+    world.give_credentials("Client", 'friend("Client") signedBy ["CA"].')
+    return world
+
+
+class TestKeys:
+    def test_public_round_trip(self, keys_for):
+        keys = keys_for("Serial-A")
+        data = public_key_to_dict(keys.public)
+        assert public_key_from_dict(data) == keys.public
+
+    def test_keypair_round_trip_signs_identically(self, keys_for):
+        keys = keys_for("Serial-B")
+        restored = keypair_from_dict(keypair_to_dict(keys, include_private=True))
+        assert restored.sign(b"msg") == keys.sign(b"msg")
+
+    def test_private_omitted_by_default(self, keys_for):
+        data = keypair_to_dict(keys_for("Serial-C"), include_private=False)
+        assert "private" not in data
+        with pytest.raises(SerializationError):
+            keypair_from_dict(data)
+
+    def test_json_clean(self, keys_for):
+        json.dumps(keypair_to_dict(keys_for("Serial-D"), include_private=True))
+
+
+class TestCredentials:
+    def test_round_trip_verifies(self, keys_for):
+        from repro.credentials.credential import issue_credential, verify_credential
+        from repro.crypto.keys import KeyRing
+
+        keys = keys_for("SerialCA")
+        credential = issue_credential(
+            parse_rule('c(X) @ "SerialCA" <- signedBy ["SerialCA"] d(X).'), keys)
+        restored = credential_from_dict(credential_to_dict(credential))
+        assert restored == credential
+        ring = KeyRing()
+        ring.add(keys.public)
+        verify_credential(restored, ring)
+
+    def test_sticky_guard_survives(self, keys_for):
+        from repro.credentials.credential import issue_credential
+        from repro.policy.sticky import with_sticky_guard
+
+        credential = with_sticky_guard(
+            issue_credential(parse_rule('c(1) signedBy ["SerialCA"].'),
+                             keys_for("SerialCA")),
+            parse_goals("clearance(Requester)"))
+        restored = credential_from_dict(credential_to_dict(credential))
+        assert restored.sticky_guard == credential.sticky_guard
+
+    def test_validity_window_survives(self, keys_for):
+        from repro.credentials.credential import issue_credential
+
+        credential = issue_credential(
+            parse_rule('c(1) signedBy ["SerialCA"].'), keys_for("SerialCA"),
+            not_before=10.0, not_after=20.0)
+        restored = credential_from_dict(credential_to_dict(credential))
+        assert (restored.not_before, restored.not_after) == (10.0, 20.0)
+
+    def test_bad_rule_rejected(self):
+        with pytest.raises(SerializationError):
+            credential_from_dict({"rule": "not a rule", "signatures": [],
+                                  "serial": "x"})
+
+
+class TestPeers:
+    def test_round_trip_program_and_wallet(self):
+        world = build_world()
+        client = world.peers["Client"]
+        restored = peer_from_dict(peer_to_dict(client, include_private=True))
+        assert restored.name == "Client"
+        assert len(restored.kb) == len(client.kb)
+        assert len(restored.credentials) == len(client.credentials)
+        assert restored.keyring.principals() == client.keyring.principals()
+
+    def test_options_survive(self):
+        world = World(key_bits=KEY_BITS)
+        peer = world.add_peer("Opt", max_answers=7, sticky_policies=True,
+                              require_certified_answers=False)
+        restored = peer_from_dict(peer_to_dict(peer, include_private=True))
+        assert restored.max_answers == 7
+        assert restored.sticky_policies
+        assert not restored.require_certified_answers
+
+
+class TestWorlds:
+    def test_save_load_negotiates_identically(self, tmp_path):
+        world = build_world()
+        path = tmp_path / "world.json"
+        save_world(world, path)
+        restored = load_world(path)
+        result = negotiate(restored.peers["Client"], "Server",
+                           parse_literal('hello("Client")'))
+        assert result.granted
+
+    def test_version_checked(self):
+        with pytest.raises(SerializationError):
+            world_from_dict({"format_version": 99})
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{ not json")
+        with pytest.raises(SerializationError):
+            load_world(path)
+
+    def test_public_snapshot_has_no_private_keys(self):
+        world = build_world()
+        data = world_to_dict(world, include_private=False)
+        text = json.dumps(data)
+        assert '"private"' not in text
+
+    def test_issuers_survive(self, tmp_path):
+        world = build_world()
+        path = tmp_path / "world.json"
+        save_world(world, path)
+        restored = load_world(path)
+        assert "CA" in restored.issuers
+        # The restored issuer can still sign new credentials.
+        credential = restored.credential('friend("Other") signedBy ["CA"].')
+        assert credential.primary_issuer == "CA"

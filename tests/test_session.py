@@ -1,0 +1,101 @@
+"""Session, transcript, and loop-detection tests."""
+
+from repro.negotiation.session import Session, SessionTable, next_session_id
+
+
+class TestTranscript:
+    def test_log_and_render(self):
+        session = Session("s1", "Alice")
+        session.log("query", "Alice", "Bob", "p(X)")
+        session.log("answer", "Bob", "Alice", "p(1)")
+        text = session.render_transcript()
+        assert "Alice -> Bob: query p(X)" in text
+        assert "[0002]" in text
+
+    def test_events_filter_by_kind(self):
+        session = Session("s1", "Alice")
+        session.log("query", "A", "B", "g")
+        session.log("deny", "B", "A", "g")
+        assert len(list(session.events("deny"))) == 1
+        assert len(list(session.events())) == 2
+
+    def test_counters_track_kinds(self):
+        session = Session("s1", "Alice")
+        session.log("query", "A", "B")
+        session.log("query", "A", "B")
+        assert session.counters["query"] == 2
+
+
+class TestLoopDetection:
+    def test_reentrant_query_detected(self):
+        session = Session("s1", "A")
+        key = ("goal",)
+        assert session.enter_remote("A", "B", key)
+        assert not session.enter_remote("A", "B", key)
+        assert session.counters["loops_detected"] == 1
+
+    def test_exit_allows_reentry(self):
+        session = Session("s1", "A")
+        key = ("goal",)
+        session.enter_remote("A", "B", key)
+        session.exit_remote("A", "B", key)
+        assert session.enter_remote("A", "B", key)
+
+    def test_direction_matters(self):
+        session = Session("s1", "A")
+        key = ("goal",)
+        assert session.enter_remote("A", "B", key)
+        assert session.enter_remote("B", "A", key)
+
+    def test_nesting_budget(self):
+        session = Session("s1", "A", max_nesting=2)
+        session.depth = 2
+        assert not session.nesting_available()
+
+
+class TestOverlaysAndHolders:
+    def test_received_store_per_peer(self):
+        session = Session("s1", "A")
+        assert session.received_for("A") is session.received_for("A")
+        assert session.received_for("A") is not session.received_for("B")
+
+    def test_disclosure_counts(self, keys_for):
+        from repro.credentials.credential import issue_credential
+        from repro.datalog.parser import parse_rule
+
+        session = Session("s1", "A")
+        credential = issue_credential(
+            parse_rule('c(1) signedBy ["SessCA"].'), keys_for("SessCA"))
+        session.received_for("B").add(credential)
+        assert session.credentials_disclosed_to("B") == 1
+        assert session.total_disclosures() == 1
+
+    def test_holders(self):
+        session = Session("s1", "A")
+        session.mark_holder("serial-1", "A")
+        assert session.holds("serial-1", "A")
+        assert not session.holds("serial-1", "B")
+        assert not session.holds("other", "A")
+
+    def test_release_cache(self):
+        session = Session("s1", "A")
+        assert session.release_cached(("k",)) is None
+        session.cache_release(("k",), True)
+        assert session.release_cached(("k",)) is True
+
+
+class TestSessionTable:
+    def test_get_or_create_idempotent(self):
+        table = SessionTable()
+        first = table.get_or_create("s1", "A")
+        second = table.get_or_create("s1", "B")  # initiator ignored on reuse
+        assert first is second and len(table) == 1
+
+    def test_forget(self):
+        table = SessionTable()
+        table.get_or_create("s1", "A")
+        table.forget("s1")
+        assert table.get("s1") is None
+
+    def test_session_ids_unique(self):
+        assert next_session_id() != next_session_id()

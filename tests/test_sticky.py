@@ -1,0 +1,174 @@
+"""Sticky-policy tests (§3.1 optional mechanism).
+
+Topology: Origin holds a CA-signed credential whose release policy guard is
+``clearance(Requester)``.  Middle satisfies it, receives the credential,
+and is later asked to forward it.  With sticky policies on, Middle (a
+cooperative peer) re-checks the origin's guard for each new recipient;
+with them off, the received statement travels freely (contexts stripped on
+send, the base paper's behaviour).
+"""
+
+import pytest
+
+from repro.datalog.parser import parse_literal
+from repro.negotiation.strategies import negotiate
+from repro.policy.sticky import (
+    combined_sticky_guard,
+    sticky_obligations,
+    with_sticky_guard,
+)
+from repro.world import World
+
+KEY_BITS = 512
+
+ORIGIN_PROGRAM = """
+secret(X) @ Y $ clearance(Requester) <-{true} secret(X) @ Y.
+clearance("Middle").
+"""
+
+# Middle re-serves the secret; its own policy is permissive ($ true), so
+# only the sticky guard can restrict onward flow.
+MIDDLE_PROGRAM = """
+relay(Requester) $ true <- secret("data") @ "CA".
+secret(X) @ Y $ true <-{true} secret(X) @ Y.
+clearance("Endpoint").
+"""
+
+
+def build(sticky: bool):
+    world = World(key_bits=KEY_BITS)
+    origin = world.add_peer("Origin", ORIGIN_PROGRAM, sticky_policies=sticky)
+    middle = world.add_peer("Middle", MIDDLE_PROGRAM, sticky_policies=sticky)
+    endpoint = world.add_peer("Endpoint")
+    mallory = world.add_peer("Mallory")
+    world.issuer("CA")
+    world.distribute_keys()
+    world.give_credentials("Origin", 'secret("data") signedBy ["CA"].')
+    return world, origin, middle, endpoint, mallory
+
+
+def fetch_secret_via_middle(world, middle, requester):
+    """Requester asks Middle directly for the origin's statement; the
+    answer must carry the (possibly sticky) credential."""
+    return negotiate(requester, "Middle",
+                     parse_literal('secret("data") @ "CA"'))
+
+
+def fetch_relay_via_middle(world, middle, requester):
+    """Requester asks Middle for the derived relay resource (the
+    modus-ponens propagation surface)."""
+    return negotiate(requester, "Middle",
+                     parse_literal(f'relay("{requester.name}")'))
+
+
+class TestHelpers:
+    def test_with_and_read_guard(self, keys_for):
+        from repro.credentials.credential import issue_credential
+        from repro.datalog.parser import parse_goals, parse_rule
+
+        credential = issue_credential(
+            parse_rule('c(1) signedBy ["StickCA"].'), keys_for("StickCA"))
+        guarded = with_sticky_guard(credential, parse_goals("clearance(Requester)"))
+        assert guarded.sticky_guard is not None
+        obligations = sticky_obligations(guarded, "Bob", "Holder")
+        assert str(obligations[0]) == 'clearance("Bob")'
+        assert sticky_obligations(credential, "Bob", "Holder") is None
+
+    def test_combined_guard_dedups(self, keys_for):
+        from repro.credentials.credential import issue_credential
+        from repro.datalog.parser import parse_goals, parse_rule
+
+        first = with_sticky_guard(
+            issue_credential(parse_rule('c(1) signedBy ["StickCA"].'),
+                             keys_for("StickCA")),
+            parse_goals("a(Requester), b(Requester)"))
+        second = with_sticky_guard(
+            issue_credential(parse_rule('c(2) signedBy ["StickCA"].'),
+                             keys_for("StickCA")),
+            parse_goals("b(Requester), c(Requester)"))
+        combined = combined_sticky_guard([first, second])
+        assert combined is not None and len(combined) == 3
+
+    def test_combined_none_when_no_guards(self, keys_for):
+        from repro.credentials.credential import issue_credential
+        from repro.datalog.parser import parse_rule
+
+        plain = issue_credential(parse_rule('c(1) signedBy ["StickCA"].'),
+                                 keys_for("StickCA"))
+        assert combined_sticky_guard([plain]) is None
+
+
+class TestAttachment:
+    def test_disclosed_credential_carries_guard(self):
+        world, origin, middle, endpoint, _ = build(sticky=True)
+        result = negotiate(middle, "Origin",
+                           parse_literal('secret("data") @ "CA"'))
+        assert result.granted
+        [credential] = [c for c in result.credentials_received
+                        if c.rule.head.predicate == "secret"]
+        assert credential.sticky_guard is not None
+        assert "clearance" in str(credential.sticky_guard[0])
+
+    def test_no_guard_without_sticky_mode(self):
+        world, origin, middle, endpoint, _ = build(sticky=False)
+        result = negotiate(middle, "Origin",
+                           parse_literal('secret("data") @ "CA"'))
+        assert result.granted
+        [credential] = [c for c in result.credentials_received
+                        if c.rule.head.predicate == "secret"]
+        assert credential.sticky_guard is None
+
+
+class TestForwardingEnforcement:
+    def _prime_middle(self, world, middle):
+        """Middle obtains the secret from Origin in a prior session and
+        keeps it in its wallet (sticky guard intact)."""
+        result = negotiate(middle, "Origin",
+                           parse_literal('secret("data") @ "CA"'))
+        assert result.granted
+        middle.adopt_session_credentials(result.session)
+
+    def test_sticky_blocks_unauthorised_onward_flow(self):
+        world, origin, middle, endpoint, mallory = build(sticky=True)
+        self._prime_middle(world, middle)
+        # Endpoint has clearance (Middle's KB knows it): forwarding allowed.
+        granted = fetch_secret_via_middle(world, middle, endpoint)
+        assert granted.granted
+        assert any(c.rule.head.predicate == "secret"
+                   for c in granted.credentials_received)
+        # Mallory lacks clearance: the sticky guard withholds the credential.
+        denied = fetch_secret_via_middle(world, middle, mallory)
+        sticky_events = list(denied.session.events("sticky-denied"))
+        assert sticky_events
+        assert not any(c.rule.head.predicate == "secret"
+                       for c in denied.credentials_received)
+        assert not denied.granted  # nothing certifiable reached Mallory
+
+    def test_default_mode_forwards_freely(self):
+        world, origin, middle, endpoint, mallory = build(sticky=False)
+        self._prime_middle(world, middle)
+        flowed = fetch_secret_via_middle(world, middle, mallory)
+        assert flowed.granted
+        assert any(c.rule.head.predicate == "secret"
+                   for c in flowed.credentials_received)
+
+
+class TestModusPonensPropagation:
+    def test_answer_credential_inherits_guard(self):
+        world, origin, middle, endpoint, _ = build(sticky=True)
+        result = negotiate(middle, "Origin",
+                           parse_literal('secret("data") @ "CA"'))
+        middle.adopt_session_credentials(result.session)
+        relayed = fetch_relay_via_middle(world, middle, endpoint)
+        assert relayed.granted
+
+    def test_derived_answer_denied_without_clearance(self):
+        """Middle's relay answer is *derived from* the sticky credential, so
+        even the answer itself (not just the credential) is withheld from an
+        uncleared requester."""
+        world, origin, middle, endpoint, mallory = build(sticky=True)
+        result = negotiate(middle, "Origin",
+                           parse_literal('secret("data") @ "CA"'))
+        middle.adopt_session_credentials(result.session)
+        denied = fetch_relay_via_middle(world, middle, mallory)
+        assert not denied.granted

@@ -1,0 +1,145 @@
+"""Strategy tests: parsimonious vs eager behaviour and interoperability.
+
+The key property (after Yu, Winslett & Seamons): on workloads where a safe
+disclosure sequence exists, *every* strategy must establish trust; where
+none exists, every strategy must terminate with failure.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.generator import (
+    build_alternating_chain,
+    build_cyclic_release,
+    build_delegation_chain,
+    build_divergent_world,
+    build_peer_ring,
+    build_policy_tree,
+    build_random_bilateral,
+)
+from repro.workloads.metrics import measure_negotiation
+
+KEY_BITS = 512
+
+
+class TestParsimonious:
+    def test_delegation_chain(self):
+        workload = build_delegation_chain(3, key_bits=KEY_BITS)
+        result, report = measure_negotiation(workload)
+        assert result.granted and report.messages > 0
+
+    def test_policy_tree(self):
+        workload = build_policy_tree(2, 2, key_bits=KEY_BITS)
+        result, report = measure_negotiation(workload)
+        assert result.granted
+        assert report.disclosures == 4  # one credential per leaf
+
+    def test_peer_ring(self):
+        workload = build_peer_ring(5, key_bits=KEY_BITS)
+        result, report = measure_negotiation(workload)
+        assert result.granted
+        # one query per hop plus the initiation
+        assert report.messages == 2 * 5
+
+    def test_alternating_chain_message_growth(self):
+        small = measure_negotiation(build_alternating_chain(2, key_bits=KEY_BITS))[1]
+        large = measure_negotiation(build_alternating_chain(5, key_bits=KEY_BITS))[1]
+        assert large.messages > small.messages
+
+
+class TestEager:
+    def test_alternating_chain(self):
+        workload = build_alternating_chain(4, key_bits=KEY_BITS)
+        result, report = measure_negotiation(workload, "eager")
+        assert result.granted
+
+    def test_eager_fewer_messages_than_parsimonious(self):
+        pars = measure_negotiation(build_alternating_chain(5, key_bits=KEY_BITS),
+                                   "parsimonious")[1]
+        eager = measure_negotiation(build_alternating_chain(5, key_bits=KEY_BITS),
+                                    "eager")[1]
+        assert eager.messages < pars.messages
+
+    def test_eager_never_sends_queries(self):
+        workload = build_alternating_chain(3, key_bits=KEY_BITS)
+        result, report = measure_negotiation(workload, "eager")
+        assert result.granted and report.queries == 0
+
+
+class TestTermination:
+    def test_cyclic_release_fails_both_strategies(self):
+        for strategy in ("parsimonious", "eager"):
+            workload = build_cyclic_release(key_bits=KEY_BITS)
+            result, _ = measure_negotiation(workload, strategy)
+            assert not result.granted
+
+    def test_cyclic_release_detected_as_loop(self):
+        workload = build_cyclic_release(key_bits=KEY_BITS)
+        result, report = measure_negotiation(workload)
+        assert report.loops_detected >= 1
+
+    def test_divergent_recursion_bounded(self):
+        workload = build_divergent_world(key_bits=KEY_BITS)
+        result, _ = measure_negotiation(workload)
+        assert not result.granted
+
+    def test_unknown_provider_raises(self):
+        from repro.errors import UnknownPeerError
+        from repro.negotiation.strategies import negotiate
+        from repro.datalog.parser import parse_literal
+
+        workload = build_cyclic_release(key_bits=KEY_BITS)
+        with pytest.raises(UnknownPeerError):
+            negotiate(workload.requester, "Ghost", parse_literal("r(1)"))
+
+    def test_detached_peer_raises(self):
+        from repro.negotiation.peer import Peer
+        from repro.negotiation.strategies import negotiate
+        from repro.datalog.parser import parse_literal
+
+        loner = Peer("Loner", key_bits=KEY_BITS)
+        with pytest.raises(RuntimeError):
+            negotiate(loner, "X", parse_literal("r(1)"))
+
+
+class TestInteroperability:
+    @pytest.mark.parametrize("rounds", [1, 2, 3, 5])
+    def test_chain_parity(self, rounds):
+        outcomes = {}
+        for strategy in ("parsimonious", "eager"):
+            workload = build_alternating_chain(rounds, key_bits=KEY_BITS)
+            outcomes[strategy] = measure_negotiation(workload, strategy)[0].granted
+        assert outcomes["parsimonious"] == outcomes["eager"] is True
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_property_random_bilateral_parity(self, seed):
+        """Both strategies agree on success for random acyclic workloads."""
+        outcomes = {}
+        for strategy in ("parsimonious", "eager"):
+            workload = build_random_bilateral(seed, key_bits=KEY_BITS)
+            outcomes[strategy] = measure_negotiation(workload, strategy)[0].granted
+        assert outcomes["parsimonious"] == outcomes["eager"]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_property_eager_disclosure_superset(self, seed):
+        """Eager never discloses fewer credentials than parsimonious on the
+        same (successful) workload."""
+        pars_workload = build_random_bilateral(seed, key_bits=KEY_BITS)
+        pars_result, pars_report = measure_negotiation(pars_workload)
+        eager_workload = build_random_bilateral(seed, key_bits=KEY_BITS)
+        eager_result, eager_report = measure_negotiation(eager_workload, "eager")
+        if pars_result.granted and eager_result.granted:
+            assert eager_report.disclosures >= pars_report.disclosures
+
+
+class TestUnknownStrategy:
+    def test_rejected(self):
+        from repro.negotiation.strategies import negotiate
+        from repro.datalog.parser import parse_literal
+
+        workload = build_cyclic_release(key_bits=KEY_BITS)
+        with pytest.raises(ValueError):
+            negotiate(workload.requester, "Server",
+                      parse_literal("r(1)"), strategy="bogus")

@@ -1,0 +1,83 @@
+"""Dependency-graph and stratification tests."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import DependencyGraph, is_stratified, stratify
+from repro.errors import StratificationError
+
+
+def strata_of(source):
+    return stratify(parse_program(source))
+
+
+class TestDependencyGraph:
+    def test_positive_edges(self):
+        graph = DependencyGraph(parse_program("a(X) <- b(X), c(X)."))
+        assert graph.positive[("a", 1)] == {("b", 1), ("c", 1)}
+
+    def test_negative_edges(self):
+        graph = DependencyGraph(parse_program("a(X) <- b(X), not c(X)."))
+        assert graph.negative[("a", 1)] == {("c", 1)}
+
+    def test_comparisons_excluded(self):
+        graph = DependencyGraph(parse_program("a(X) <- b(X), X < 3."))
+        assert ("<", 2) not in graph.nodes
+
+    def test_is_recursive(self):
+        graph = DependencyGraph(parse_program(
+            "p(X) <- q(X). q(X) <- p(X). r(X) <- q(X)."))
+        assert graph.is_recursive(("p", 1))
+        assert graph.is_recursive(("q", 1))
+        assert not graph.is_recursive(("r", 1))
+
+    def test_sccs(self):
+        graph = DependencyGraph(parse_program(
+            "p(X) <- q(X). q(X) <- p(X). r(X) <- q(X)."))
+        components = graph.strongly_connected_components()
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2]
+
+    def test_deep_chain_does_not_overflow(self):
+        rules = " ".join(f"p{i}(X) <- p{i + 1}(X)." for i in range(500))
+        rules += " p500(1)."
+        graph = DependencyGraph(parse_program(rules))
+        assert len(graph.strongly_connected_components()) == 501
+
+
+class TestStratification:
+    def test_positive_program_single_stratum(self):
+        layers = strata_of("a(X) <- b(X). b(1).")
+        assert len(layers) == 1
+
+    def test_negation_splits_strata(self):
+        layers = strata_of("a(X) <- b(X), not c(X). b(1). c(1).")
+        assert len(layers) == 2
+        assert ("c", 1) in layers[0]
+        assert ("a", 1) in layers[1]
+
+    def test_chained_negations_stack(self):
+        layers = strata_of("""
+        a(X) <- b(X), not c(X).
+        c(X) <- d(X), not e(X).
+        b(1). d(1). e(1).
+        """)
+        index = {node: i for i, layer in enumerate(layers) for node in layer}
+        assert index[("e", 1)] < index[("c", 1)] < index[("a", 1)]
+
+    def test_recursion_through_negation_rejected(self):
+        with pytest.raises(StratificationError):
+            strata_of("p(X) <- r(X), not q(X). q(X) <- r(X), not p(X). r(1).")
+
+    def test_self_negation_rejected(self):
+        with pytest.raises(StratificationError):
+            strata_of("p(X) <- r(X), not p(X). r(1).")
+
+    def test_positive_recursion_allowed(self):
+        layers = strata_of("p(X) <- q(X). q(X) <- p(X). p(1).")
+        assert len(layers) == 1
+
+    def test_is_stratified_helper(self):
+        assert is_stratified(parse_program("a(X) <- not b(X), c(X). c(1). b(2)."))
+        assert not is_stratified(parse_program(
+            "p(X) <- r(X), not p(X). r(1)."))

@@ -1,0 +1,162 @@
+"""Super-peer routing substrate tests."""
+
+import pytest
+
+from repro.datalog.parser import parse_literal
+from repro.errors import NetworkError
+from repro.negotiation.strategies import negotiate
+from repro.net.superpeer import SuperPeerNetwork, hamming_distance
+from repro.world import World
+
+KEY_BITS = 512
+
+
+def build_world(peer_count=4, superpeers=4):
+    world = World(key_bits=KEY_BITS)
+    server = world.add_peer("Server",
+                            'resource(Requester) $ true <- '
+                            'token(Requester) @ "CA" @ Requester.')
+    clients = [world.add_peer(f"Client{i}",
+                              'token(X) @ Y $ true <-{true} token(X) @ Y.')
+               for i in range(peer_count - 1)]
+    world.issuer("CA")
+    world.distribute_keys()
+    for client in clients:
+        world.give_credentials(client.name,
+                               f'token("{client.name}") signedBy ["CA"].')
+    network = SuperPeerNetwork(world, superpeer_count=superpeers)
+    return world, network, server, clients
+
+
+class TestTopology:
+    def test_hamming(self):
+        assert hamming_distance(0b000, 0b111) == 3
+        assert hamming_distance(5, 5) == 0
+
+    def test_dimension_rounds_up(self):
+        world = World(key_bits=KEY_BITS)
+        network = SuperPeerNetwork(world, superpeer_count=5)
+        assert network.superpeer_count == 8
+        assert network.dimension == 3
+
+    def test_single_superpeer(self):
+        world = World(key_bits=KEY_BITS)
+        world.add_peer("A")
+        world.add_peer("B")
+        network = SuperPeerNetwork(world, superpeer_count=1)
+        assert network.hops("A", "B") == 2  # up and down the same SP
+
+    def test_round_robin_assignment(self):
+        world, network, server, clients = build_world(peer_count=5, superpeers=4)
+        assignments = {network.superpeer_of(p) for p in world.peers}
+        assert len(assignments) >= 2
+
+    def test_hops_zero_for_self(self):
+        world, network, *_ = build_world()
+        assert network.hops("Server", "Server") == 0
+
+    def test_route_is_valid_hypercube_walk(self):
+        world = World(key_bits=KEY_BITS)
+        a = world.add_peer("A")
+        b = world.add_peer("B")
+        network = SuperPeerNetwork(world, superpeer_count=8)
+        network.assign("A", 0b000)
+        network.assign("B", 0b101)
+        route = network.route("A", "B")
+        assert route[0] == "A" and route[-1] == "B"
+        # hop count matches route length: endpoints + super-peer chain
+        assert len(route) - 2 == network.hops("A", "B") - 1
+
+    def test_unattached_peer_raises(self):
+        world, network, *_ = build_world()
+        with pytest.raises(NetworkError):
+            network.superpeer_of("Ghost")
+
+    def test_bad_superpeer_index(self):
+        world, network, *_ = build_world()
+        with pytest.raises(NetworkError):
+            network.assign("Server", superpeer=99)
+
+
+class TestLatencyIntegration:
+    def test_distance_shows_in_simulated_time(self):
+        world = World(key_bits=KEY_BITS)
+        server = world.add_peer("Server", "ping(X) <-{true} known(X). known(1).")
+        near = world.add_peer("Near")
+        far = world.add_peer("Far")
+        world.distribute_keys()
+        network = SuperPeerNetwork(world, superpeer_count=8, hop_latency_ms=5.0)
+        network.assign("Server", 0b000)
+        network.assign("Near", 0b000)   # same super-peer
+        network.assign("Far", 0b111)    # 3 cube hops away
+
+        world.reset_metrics()
+        negotiate(near, "Server", parse_literal("ping(1)"))
+        near_ms = world.stats.simulated_ms
+        world.reset_metrics()
+        negotiate(far, "Server", parse_literal("ping(1)"))
+        far_ms = world.stats.simulated_ms
+        assert far_ms > near_ms
+
+    def test_negotiation_still_works_through_cube(self):
+        world, network, server, clients = build_world(peer_count=6, superpeers=8)
+        client = clients[0]
+        result = negotiate(client, "Server",
+                           parse_literal(f'resource("{client.name}")'))
+        assert result.granted
+        assert network.total_hops() > 0
+
+    def test_hop_log_resets(self):
+        world, network, server, clients = build_world()
+        negotiate(clients[0], "Server",
+                  parse_literal(f'resource("{clients[0].name}")'))
+        assert network.hop_log
+        network.reset_hop_log()
+        assert not network.hop_log
+
+
+class TestRoutingIndices:
+    def test_advertise_and_locate(self):
+        world, network, server, clients = build_world()
+        network.advertise("Server", ["resource"])
+        assert network.locate("resource") == ["Server"]
+        assert network.locate("nonexistent") == []
+
+    def test_locate_orders_by_distance(self):
+        world = World(key_bits=KEY_BITS)
+        for name in ("Asker", "ProviderNear", "ProviderFar"):
+            world.add_peer(name)
+        network = SuperPeerNetwork(world, superpeer_count=8)
+        network.assign("Asker", 0b000)
+        network.assign("ProviderNear", 0b001)
+        network.assign("ProviderFar", 0b111)
+        network.advertise("ProviderNear", ["wisdom"])
+        network.advertise("ProviderFar", ["wisdom"])
+        assert network.locate("wisdom", near="Asker") == [
+            "ProviderNear", "ProviderFar"]
+
+    def test_advertise_from_kb_uses_release_policies(self):
+        world, network, server, clients = build_world()
+        network.advertise_from_kb("Server")
+        assert "Server" in network.locate("resource")
+        network.advertise_from_kb(clients[0].name)
+        assert clients[0].name in network.locate("token")
+
+    def test_withdraw(self):
+        world, network, server, clients = build_world()
+        network.advertise("Server", ["resource", "extra"])
+        network.withdraw("Server", ["resource"])
+        assert network.locate("resource") == []
+        assert network.locate("extra") == ["Server"]
+        network.withdraw("Server")
+        assert network.locate("extra") == []
+
+    def test_locate_enables_brokerless_discovery(self):
+        """A peer can find an authority through the routing index and then
+        negotiate with it directly."""
+        world, network, server, clients = build_world()
+        network.advertise_from_kb("Server")
+        [provider_name] = network.locate("resource", near=clients[0].name)
+        result = negotiate(clients[0], provider_name,
+                           parse_literal(f'resource("{clients[0].name}")'))
+        assert result.granted

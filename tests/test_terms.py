@@ -1,0 +1,180 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datalog.terms import (
+    Compound,
+    Constant,
+    Variable,
+    atom,
+    fresh_variable,
+    is_ground,
+    number,
+    rename_term,
+    string,
+    struct,
+    subterms,
+    term_depth,
+    term_size,
+    var,
+    variables_in,
+)
+
+
+class TestConstruction:
+    def test_atom_is_unquoted(self):
+        assert atom("cs101") == Constant("cs101", quoted=False)
+
+    def test_string_is_quoted(self):
+        assert string("UIUC") == Constant("UIUC", quoted=True)
+
+    def test_atom_and_string_differ(self):
+        assert atom("x") != string("x")
+
+    def test_number_int(self):
+        assert number(2000).value == 2000
+
+    def test_number_float(self):
+        assert number(3.5).value == 3.5
+
+    def test_number_rejects_bool(self):
+        with pytest.raises(TypeError):
+            number(True)
+
+    def test_struct_builds_compound(self):
+        term = struct("price", atom("cs411"), number(1000))
+        assert term.functor == "price"
+        assert term.arity == 2
+
+    def test_compound_coerces_list_args(self):
+        term = Compound("f", [atom("a")])  # type: ignore[arg-type]
+        assert isinstance(term.args, tuple)
+
+    def test_variable_identity_by_name(self):
+        assert var("X") == Variable("X")
+        assert var("X") != var("Y")
+
+
+class TestPredicates:
+    def test_is_variable(self):
+        assert var("X").is_variable()
+        assert not atom("a").is_variable()
+
+    def test_is_constant(self):
+        assert atom("a").is_constant()
+        assert not var("X").is_constant()
+
+    def test_is_compound(self):
+        assert struct("f", atom("a")).is_compound()
+        assert not atom("a").is_compound()
+
+    def test_constant_is_number(self):
+        assert number(1).is_number
+        assert not atom("a").is_number
+
+
+class TestHashingEquality:
+    def test_terms_usable_in_sets(self):
+        members = {atom("a"), atom("a"), string("a"), var("X"),
+                   struct("f", atom("a"))}
+        assert len(members) == 4
+
+    def test_structural_equality(self):
+        assert struct("f", var("X"), atom("a")) == struct("f", var("X"), atom("a"))
+
+    def test_deep_nesting_equality(self):
+        left = struct("f", struct("g", struct("h", var("X"))))
+        right = struct("f", struct("g", struct("h", var("X"))))
+        assert left == right and hash(left) == hash(right)
+
+
+class TestTraversal:
+    def test_subterms_preorder(self):
+        term = struct("f", atom("a"), struct("g", var("X")))
+        nodes = list(subterms(term))
+        assert nodes[0] == term
+        assert atom("a") in nodes and var("X") in nodes
+        assert len(nodes) == 4
+
+    def test_variables_in(self):
+        term = struct("f", var("X"), struct("g", var("Y"), var("X")))
+        assert variables_in(term) == {var("X"), var("Y")}
+
+    def test_is_ground(self):
+        assert is_ground(struct("f", atom("a"), number(1)))
+        assert not is_ground(struct("f", var("X")))
+
+    def test_term_size(self):
+        assert term_size(atom("a")) == 1
+        assert term_size(struct("f", atom("a"), struct("g", var("X")))) == 4
+
+    def test_term_depth(self):
+        assert term_depth(atom("a")) == 1
+        assert term_depth(struct("f", struct("g", atom("a")))) == 3
+
+
+class TestRenaming:
+    def test_fresh_variables_are_distinct(self):
+        assert fresh_variable() != fresh_variable()
+
+    def test_rename_consistent_within_term(self):
+        term = struct("f", var("X"), var("X"), var("Y"))
+        renamed = rename_term(term, {})
+        assert isinstance(renamed, Compound)
+        first, second, third = renamed.args
+        assert first == second
+        assert first != third
+
+    def test_rename_extends_mapping(self):
+        mapping = {}
+        rename_term(var("X"), mapping)
+        assert var("X") in mapping
+
+    def test_rename_preserves_constants(self):
+        assert rename_term(atom("a"), {}) == atom("a")
+
+
+class TestRendering:
+    def test_atom_str(self):
+        assert str(atom("cs101")) == "cs101"
+
+    def test_string_str_quoted(self):
+        assert str(string("E-Learn")) == '"E-Learn"'
+
+    def test_string_escapes(self):
+        assert str(string('a"b')) == '"a\\"b"'
+
+    def test_compound_str(self):
+        assert str(struct("price", atom("cs411"), number(1000))) == "price(cs411, 1000)"
+
+
+@given(st.recursive(
+    st.one_of(
+        st.integers(-1000, 1000).map(number),
+        st.text("abcdefg", min_size=1, max_size=5).map(atom),
+        st.sampled_from(["X", "Y", "Z"]).map(var),
+    ),
+    lambda children: st.builds(
+        lambda args: struct("f", *args),
+        st.lists(children, min_size=1, max_size=3)),
+    max_leaves=12,
+))
+def test_property_rename_preserves_shape(term):
+    """Renaming never changes size, depth, or groundness."""
+    renamed = rename_term(term, {})
+    assert term_size(renamed) == term_size(term)
+    assert term_depth(renamed) == term_depth(term)
+    assert is_ground(renamed) == is_ground(term)
+
+
+@given(st.recursive(
+    st.one_of(st.integers(0, 9).map(number), st.sampled_from("ab").map(atom)),
+    lambda children: st.builds(
+        lambda args: struct("g", *args),
+        st.lists(children, min_size=1, max_size=3)),
+    max_leaves=10,
+))
+def test_property_ground_terms_have_no_variables(term):
+    assert is_ground(term)
+    assert variables_in(term) == set()

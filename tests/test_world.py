@@ -1,0 +1,111 @@
+"""World-builder tests."""
+
+import pytest
+
+from repro.errors import CredentialError
+from repro.world import World
+
+KEY_BITS = 512
+
+
+class TestPrincipals:
+    def test_issuer_keys_are_stable(self):
+        world = World(key_bits=KEY_BITS)
+        assert world.issuer("CA") is world.issuer("CA")
+
+    def test_peer_keys_resolved_before_issuers(self):
+        world = World(key_bits=KEY_BITS)
+        peer = world.add_peer("Dual")
+        assert world.keys_for("Dual") is peer.keys
+
+    def test_keys_for_creates_issuer(self):
+        world = World(key_bits=KEY_BITS)
+        keys = world.keys_for("Fresh")
+        assert "Fresh" in world.issuers and keys.principal == "Fresh"
+
+    def test_add_peer_registers_on_transport(self):
+        world = World(key_bits=KEY_BITS)
+        peer = world.add_peer("P")
+        assert world.transport.registry.get("P") is peer
+        assert peer.transport is world.transport
+
+    def test_peer_accessor(self):
+        world = World(key_bits=KEY_BITS)
+        peer = world.add_peer("P")
+        assert world.peer("P") is peer
+
+    def test_uncached_keys(self):
+        first = World(key_bits=KEY_BITS, use_key_cache=False)
+        second = World(key_bits=KEY_BITS, use_key_cache=False)
+        assert first.issuer("NoCacheCA") is not second.issuer("NoCacheCA")
+
+
+class TestKeyDistribution:
+    def test_everyone_trusts_everyone(self):
+        world = World(key_bits=KEY_BITS)
+        a = world.add_peer("A")
+        b = world.add_peer("B")
+        world.issuer("CA")
+        world.distribute_keys()
+        for peer in (a, b):
+            for principal in ("A", "B", "CA"):
+                assert principal in peer.keyring
+
+    def test_redistribution_is_idempotent(self):
+        world = World(key_bits=KEY_BITS)
+        world.add_peer("A")
+        world.distribute_keys()
+        world.distribute_keys()
+
+
+class TestCredentialIssuance:
+    def test_credential_from_text(self):
+        world = World(key_bits=KEY_BITS)
+        credential = world.credential('c("X") signedBy ["CA"].')
+        assert credential.primary_issuer == "CA"
+
+    def test_unsigned_rule_rejected(self):
+        world = World(key_bits=KEY_BITS)
+        with pytest.raises(CredentialError):
+            world.credential("c(1).")
+
+    def test_variable_signer_rejected(self):
+        world = World(key_bits=KEY_BITS)
+        with pytest.raises(CredentialError):
+            world.credential("c(1) signedBy [Y].")
+
+    def test_give_credentials_populates_wallet(self):
+        world = World(key_bits=KEY_BITS)
+        holder = world.add_peer("Holder")
+        issued = world.give_credentials("Holder", '''
+            a(1) signedBy ["CA"].
+            b(2) signedBy ["CB"].
+        ''')
+        assert len(issued) == 2 and len(holder.credentials) == 2
+
+    def test_give_credentials_with_validity(self):
+        world = World(key_bits=KEY_BITS)
+        credential = world.credential('c(1) signedBy ["CA"].',
+                                      not_before=1.0, not_after=2.0)
+        assert (credential.not_before, credential.not_after) == (1.0, 2.0)
+
+    def test_peer_signed_credential(self):
+        """A live peer can also act as an issuer."""
+        world = World(key_bits=KEY_BITS)
+        world.add_peer("Signer")
+        credential = world.credential('says(hello) signedBy ["Signer"].')
+        assert credential.primary_issuer == "Signer"
+
+
+class TestMetrics:
+    def test_reset_returns_previous(self):
+        world = World(key_bits=KEY_BITS)
+        world.add_peer("A", "x(1) <-{true} true.")
+        world.add_peer("B")
+        from repro.datalog.parser import parse_literal
+        from repro.negotiation.strategies import negotiate
+
+        negotiate(world.peer("B"), "A", parse_literal("x(1)"))
+        previous = world.reset_metrics()
+        assert previous.messages > 0
+        assert world.stats.messages == 0

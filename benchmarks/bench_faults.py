@@ -1,0 +1,159 @@
+"""E12 — Fault-tolerance sweep: drop/duplication rates x retry policies.
+
+The paper's §6 leaves guaranteed termination "under network failures" as
+future work; this experiment measures what the reproduction's resilient
+transport delivers.  Alice's free ELENA enrollment (the §3.1 student path:
+delegation chain + consortium membership) is negotiated repeatedly while a
+seeded :class:`repro.net.faults.FaultPlan` injects message drops and
+duplicates, under three retry policies:
+
+- ``none``     — one attempt per message (the seed repo's behaviour);
+- ``fast``     — 3 attempts, short backoff;
+- ``patient``  — 6 attempts, exponential backoff capped at 50 simulated ms.
+
+Each (drop-rate, policy) cell reports success rate, mean message count,
+mean simulated-ms, and mean retries over ``TRIALS`` seeded trials.  The
+full grid is written to ``benchmarks/reports/bench_faults.json`` so
+EXPERIMENTS.md can reference exact numbers.
+
+Runs under pytest (``pytest benchmarks/bench_faults.py -s``) or standalone
+(``PYTHONPATH=src python benchmarks/bench_faults.py``).
+"""
+
+import json
+from pathlib import Path
+
+try:
+    from conftest import KEY_BITS
+except ImportError:  # standalone execution
+    KEY_BITS = 512
+
+from repro.bench.reporting import format_table, print_table
+from repro.datalog.parser import parse_literal
+from repro.negotiation.strategies import negotiate
+from repro.net.faults import uniform_plan
+from repro.net.transport import RetryPolicy
+from repro.scenarios.elena_network import build_elena_network
+
+DROP_RATES = (0.0, 0.1, 0.2)
+POLICIES = (
+    ("none", None),
+    ("fast", RetryPolicy(max_attempts=3, base_delay_ms=2.0,
+                         multiplier=2.0, max_delay_ms=20.0, jitter_ms=0.5)),
+    ("patient", RetryPolicy(max_attempts=6, base_delay_ms=2.0,
+                            multiplier=2.0, max_delay_ms=50.0, jitter_ms=0.5)),
+)
+TRIALS = 5
+REPORT_PATH = Path(__file__).resolve().parent / "reports" / "bench_faults.json"
+
+
+def _trial_seed(drop: float, policy_name: str, trial: int) -> int:
+    """Deterministic, cell-decorrelated fault-plan seed."""
+    return trial * 7919 + int(drop * 1000) * 31 + len(policy_name)
+
+
+def run_sweep(trials: int = TRIALS) -> list[dict]:
+    network = build_elena_network(key_bits=KEY_BITS)
+    world = network.world
+    goal = parse_literal('enroll(spanish205, "Alice")')
+    rows = []
+    for drop in DROP_RATES:
+        for policy_name, policy in POLICIES:
+            granted = 0
+            messages = simulated_ms = retries = dropped = 0.0
+            for trial in range(trials):
+                world.inject_faults(uniform_plan(
+                    seed=_trial_seed(drop, policy_name, trial),
+                    drop=drop, duplicate=drop / 2))
+                world.set_retry(policy)
+                world.reset_metrics()
+                result = negotiate(network.alice, "E-Learn", goal)
+                assert not result.session.in_flight
+                stats = world.stats
+                granted += int(result.granted)
+                messages += stats.messages
+                simulated_ms += stats.simulated_ms
+                retries += stats.retries
+                dropped += stats.dropped
+            world.inject_faults(None)
+            world.set_retry(None)
+            rows.append({
+                "drop": drop,
+                "retry": policy_name,
+                "success_rate": round(granted / trials, 2),
+                "messages": round(messages / trials, 1),
+                "sim_ms": round(simulated_ms / trials, 2),
+                "retries": round(retries / trials, 1),
+                "dropped": round(dropped / trials, 1),
+            })
+    return rows
+
+
+def write_report(rows: list[dict], path: Path = REPORT_PATH) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "experiment": "E12",
+        "scenario": "ELENA network: Alice free enrollment at E-Learn",
+        "trials_per_cell": TRIALS,
+        "drop_rates": list(DROP_RATES),
+        "retry_policies": {
+            name: (None if policy is None else {
+                "max_attempts": policy.max_attempts,
+                "base_delay_ms": policy.base_delay_ms,
+                "multiplier": policy.multiplier,
+                "max_delay_ms": policy.max_delay_ms,
+                "jitter_ms": policy.jitter_ms,
+            }) for name, policy in POLICIES
+        },
+        "cells": rows,
+    }, indent=2) + "\n")
+    return path
+
+
+def check_shape(rows: list[dict]) -> None:
+    cells = {(row["drop"], row["retry"]): row for row in rows}
+    # A clean network succeeds always, under every policy, with no retries.
+    for policy_name, _ in POLICIES:
+        assert cells[(0.0, policy_name)]["success_rate"] == 1.0
+        assert cells[(0.0, policy_name)]["retries"] == 0.0
+    # Retries never hurt the success rate, at any drop rate.
+    for drop in DROP_RATES:
+        assert (cells[(drop, "patient")]["success_rate"]
+                >= cells[(drop, "none")]["success_rate"])
+    # Persistence is visibly paid for in simulated time under chaos.
+    assert (cells[(0.2, "patient")]["sim_ms"]
+            >= cells[(0.2, "none")]["sim_ms"])
+
+
+def test_e12_fault_tolerance_sweep(benchmark):
+    rows = run_sweep()
+    print_table(rows, title="E12 - fault tolerance: drop rate x retry policy "
+                            f"({TRIALS} seeded trials/cell)")
+    report = write_report(rows)
+    print(f"\nJSON report: {report}")
+    check_shape(rows)
+
+    def chaotic_enrollment():
+        network = build_elena_network(key_bits=KEY_BITS)
+        network.world.inject_faults(uniform_plan(seed=1, drop=0.1,
+                                                 duplicate=0.05))
+        network.world.set_retry(POLICIES[2][1])
+        result = negotiate(network.alice, "E-Learn",
+                           parse_literal('enroll(spanish205, "Alice")'))
+        assert result.granted
+
+    benchmark(chaotic_enrollment)
+
+
+def main() -> int:
+    rows = run_sweep()
+    print(format_table(rows, title="E12 - fault tolerance: drop rate x retry "
+                                   f"policy ({TRIALS} seeded trials/cell)"))
+    report = write_report(rows)
+    print(f"JSON report: {report}")
+    check_shape(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

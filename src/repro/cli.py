@@ -62,8 +62,27 @@ def _build_demo_world(name: str):
     raise PeerTrustError(f"unknown demo {name!r}")
 
 
+def _configure_chaos(world, args) -> None:
+    """Apply the optional fault-injection / resilience flags to a world."""
+    drop = getattr(args, "drop", 0.0) or 0.0
+    duplicate = getattr(args, "duplicate", 0.0) or 0.0
+    corrupt = getattr(args, "corrupt", 0.0) or 0.0
+    if drop or duplicate or corrupt:
+        from repro.net.faults import uniform_plan
+
+        world.inject_faults(uniform_plan(
+            seed=getattr(args, "fault_seed", 0) or 0,
+            drop=drop, duplicate=duplicate, corrupt=corrupt))
+    retries = getattr(args, "retries", None)
+    if retries and retries > 1:
+        from repro.net.transport import RetryPolicy
+
+        world.set_retry(RetryPolicy(max_attempts=retries))
+
+
 def _run_negotiation(world, requester_name: str, provider_name: str,
-                     goal_text: str, strategy: str, out) -> int:
+                     goal_text: str, strategy: str, out,
+                     deadline_ms: Optional[float] = None) -> int:
     from repro.datalog.parser import parse_literal
     from repro.negotiation.strategies import negotiate
 
@@ -73,7 +92,8 @@ def _run_negotiation(world, requester_name: str, provider_name: str,
               f"(have: {', '.join(sorted(world.peers))})", file=sys.stderr)
         return 2
     goal = parse_literal(goal_text)
-    result = negotiate(requester, provider_name, goal, strategy=strategy)
+    result = negotiate(requester, provider_name, goal, strategy=strategy,
+                       deadline_ms=deadline_ms)
     print(f"goal:     {goal}", file=out)
     print(f"granted:  {result.granted}", file=out)
     if result.first_bindings:
@@ -84,6 +104,10 @@ def _run_negotiation(world, requester_name: str, provider_name: str,
     stats = world.stats
     print(f"traffic:  {stats.messages} messages, {stats.bytes} bytes, "
           f"{stats.simulated_ms:.1f} simulated ms", file=out)
+    if stats.retries or stats.dropped or stats.duplicates_suppressed:
+        print(f"faults:   {stats.dropped} dropped, {stats.retries} retries, "
+              f"{stats.duplicates_suppressed} duplicate(s) suppressed",
+              file=out)
     print("\ntranscript:", file=out)
     print(result.session.render_transcript(), file=out)
     return 0 if result.granted else 1
@@ -142,8 +166,9 @@ def cmd_lint(args, out) -> int:
 
 def cmd_demo(args, out) -> int:
     world, (requester, provider, goal) = _build_demo_world(args.name)
+    _configure_chaos(world, args)
     return _run_negotiation(world, requester, provider, goal,
-                            args.strategy, out)
+                            args.strategy, out, deadline_ms=args.deadline_ms)
 
 
 def cmd_save_demo(args, out) -> int:
@@ -160,8 +185,10 @@ def cmd_negotiate(args, out) -> int:
     from repro.serialize import load_world
 
     world = load_world(args.world)
+    _configure_chaos(world, args)
     return _run_negotiation(world, args.requester, args.provider,
-                            args.goal, args.strategy, out)
+                            args.goal, args.strategy, out,
+                            deadline_ms=args.deadline_ms)
 
 
 def cmd_query(args, out) -> int:
@@ -212,10 +239,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true", help="hide info findings")
     p.set_defaults(handler=cmd_lint)
 
+    def add_chaos_options(sub) -> None:
+        group = sub.add_argument_group(
+            "fault injection", "seeded network chaos + resilience knobs")
+        group.add_argument("--drop", type=float, default=0.0, metavar="RATE",
+                           help="message drop probability (0..1)")
+        group.add_argument("--duplicate", type=float, default=0.0,
+                           metavar="RATE", help="duplication probability")
+        group.add_argument("--corrupt", type=float, default=0.0,
+                           metavar="RATE", help="payload corruption probability")
+        group.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                           help="fault plan seed (runs replay per seed)")
+        group.add_argument("--retries", type=int, default=None, metavar="N",
+                           help="total delivery attempts per message (default 1)")
+        group.add_argument("--deadline-ms", type=float, default=None,
+                           metavar="MS",
+                           help="simulated-ms budget for the negotiation")
+
     p = subparsers.add_parser("demo", help="run one of the paper scenarios")
     p.add_argument("name", choices=DEMOS)
     p.add_argument("--strategy", default="parsimonious",
                    choices=("parsimonious", "eager"))
+    add_chaos_options(p)
     p.set_defaults(handler=cmd_demo)
 
     p = subparsers.add_parser("save-demo", help="snapshot a demo world to JSON")
@@ -230,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--goal", required=True)
     p.add_argument("--strategy", default="parsimonious",
                    choices=("parsimonious", "eager"))
+    add_chaos_options(p)
     p.set_defaults(handler=cmd_negotiate)
 
     p = subparsers.add_parser("query", help="evaluate a goal as one peer")

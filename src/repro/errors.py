@@ -89,12 +89,35 @@ class NetworkError(PeerTrustError):
     """Base class for transport-layer failures."""
 
 
+class TransientNetworkError(NetworkError):
+    """A delivery failure that may succeed on retry: a dropped message, a
+    lost reply, a peer that is momentarily down.  The transport retries
+    these (under its :class:`repro.net.transport.RetryPolicy`); once retries
+    are exhausted the error reaches the caller, which fails the affected
+    proof branch — shrinking the answer set, never corrupting it."""
+
+
+class PeerUnavailableError(TransientNetworkError):
+    """Raised when the target peer is crashed/partitioned.  Transient: the
+    peer may restart within a fault plan's crash window, so retries with
+    backoff can outlast the outage."""
+
+
+class DeadlineExceeded(NetworkError):
+    """Raised when a session's simulated-ms deadline budget is exhausted.
+    Not transient — retrying cannot buy time back — and not swallowed as a
+    branch failure: it propagates to the negotiation driver, which converts
+    it into a clean :class:`NegotiationFailure` outcome."""
+
+
 class UnknownPeerError(NetworkError):
     """Raised when a message is addressed to a peer that is not registered."""
 
 
 class MessageTooLargeError(NetworkError):
-    """Raised when a message exceeds the transport's configured size limit."""
+    """Raised when a message exceeds the transport's configured size limit.
+    Deterministic — the same message is oversized every time — so it is
+    never retried and never treated as a droppable transient."""
 
 
 class NegotiationError(PeerTrustError):

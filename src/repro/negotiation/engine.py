@@ -40,7 +40,13 @@ from repro.datalog.sld import (
 )
 from repro.datalog.substitution import Substitution
 from repro.datalog.terms import Constant, Variable
-from repro.errors import CredentialError, KeyError_, NetworkError, SignatureError
+from repro.errors import (
+    CredentialError,
+    KeyError_,
+    MessageTooLargeError,
+    SignatureError,
+    TransientNetworkError,
+)
 from repro.net.message import QueryMessage
 from repro.negotiation.session import Session
 from repro.policy.pseudovars import binder, bind_pseudovars_in_literal
@@ -278,6 +284,12 @@ class EvalContext:
         goal_key = canonical_literal(reduced)
         if not self.session.enter_remote(self.peer.name, target, goal_key):
             return
+        # Failure discipline: transient losses (already retried by the
+        # transport) and deterministic faults (oversize, corruption) fail
+        # only this proof branch — the answer set can shrink but never admit
+        # unverified material.  DeadlineExceeded is neither: it propagates
+        # so the whole negotiation terminates promptly (the driver converts
+        # it into a clean failure outcome).
         try:
             self.session.log("query", self.peer.name, target, str(reduced))
             try:
@@ -288,8 +300,21 @@ class EvalContext:
                     goal=reduced,
                     depth=depth,
                 ))
-            except NetworkError:
+            except TransientNetworkError as error:
                 self.session.counters["network_failures"] += 1
+                self.session.log("gave-up", self.peer.name, target, str(error))
+                return
+            except MessageTooLargeError as error:
+                # Deterministic: the same query is oversized every time, so
+                # it is not a droppable transient and must not be retried.
+                self.session.counters["oversized_messages"] += 1
+                self.session.log("oversized", self.peer.name, target, str(error))
+                return
+            except SignatureError as error:
+                # Payload corrupted in transit and detected; retrying is the
+                # transport's call (it did not), re-deriving is ours: fail.
+                self.session.counters["corrupt_payloads"] += 1
+                self.session.log("corrupt", self.peer.name, target, str(error))
                 return
         finally:
             self.session.exit_remote(self.peer.name, target, goal_key)

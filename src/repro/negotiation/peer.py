@@ -44,7 +44,12 @@ from repro.datalog.builtins import BuiltinRegistry
 from repro.datalog.knowledge import KnowledgeBase
 from repro.datalog.sld import Solution, canonical_literal
 from repro.datalog.terms import Constant
-from repro.errors import CredentialError, KeyError_, SignatureError
+from repro.errors import (
+    CredentialError,
+    KeyError_,
+    SignatureError,
+    TransientNetworkError,
+)
 from repro.net.message import (
     AnswerItem,
     AnswerMessage,
@@ -88,6 +93,7 @@ class Peer:
         key_bits: int = 1024,
         answers_queries: bool = True,
         sticky_policies: bool = False,
+        deadline_ms: Optional[float] = None,
     ) -> None:
         self.name = name
         self.kb = KnowledgeBase()
@@ -104,6 +110,9 @@ class Peer:
         self.require_certified_answers = require_certified_answers
         self.answers_queries = answers_queries
         self.sticky_policies = sticky_policies
+        # Default simulated-ms budget for negotiations this peer initiates
+        # (None = unbounded); per-call deadline_ms overrides it.
+        self.deadline_ms = deadline_ms
         # Simulated clock for credential validity checks; None = wall time.
         self.clock: Optional[float] = None
         self.query_filter: Optional[Callable[[Literal, str], bool]] = None
@@ -232,6 +241,14 @@ class Peer:
             # Open goals enumerate up to max_answers distinct solutions.
             limit = 1 if message.goal.is_ground() else self.max_answers
             solutions = context.query_goal(message.goal, max_solutions=limit)
+        except TransientNetworkError as error:
+            # Graceful degradation: a provider that cannot reach a third
+            # party answers "no" for this query rather than propagating the
+            # outage back to its own requester.  (DeadlineExceeded is NOT
+            # caught — it must unwind the whole negotiation.)
+            session.counters["degraded_answers"] += 1
+            session.log("degraded", self.name, requester, str(error))
+            solutions = []
         finally:
             session.depth -= 1
 
@@ -600,6 +617,7 @@ class Peer:
                     max_solutions: Optional[int] = None,
                     allow_remote: bool = True) -> list[Solution]:
         """Evaluate a goal as this peer, for its own purposes."""
+        created_here = session is None
         if session is None:
             from repro.negotiation.session import next_session_id
 
@@ -607,15 +625,21 @@ class Peer:
                 next_session_id("local"), self.name, self.max_nesting)
                 if self.transport is not None
                 else Session(next_session_id("local"), self.name, self.max_nesting))
-        context = EvalContext(
-            peer=self,
-            session=session,
-            requester=self.name,
-            kb=self.kb,
-            stores=[self.credentials, session.received_for(self.name)],
-            allow_remote=allow_remote and self.transport is not None,
-        )
-        return context.query_goal(goal, max_solutions=max_solutions)
+        try:
+            context = EvalContext(
+                peer=self,
+                session=session,
+                requester=self.name,
+                kb=self.kb,
+                stores=[self.credentials, session.received_for(self.name)],
+                allow_remote=allow_remote and self.transport is not None,
+            )
+            return context.query_goal(goal, max_solutions=max_solutions)
+        finally:
+            if created_here:
+                session.audit_in_flight()
+                if self.transport is not None:
+                    self.transport.release_session(session.id)
 
     def __repr__(self) -> str:
         return (f"Peer({self.name!r}, {len(self.kb)} rules, "

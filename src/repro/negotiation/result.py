@@ -30,6 +30,9 @@ class NegotiationResult:
     credentials_received: list[Credential] = field(default_factory=list)
     session: Optional[Session] = None
     failure_reason: str = ""
+    # Machine-readable failure class: "" (granted), "denied", "network"
+    # (transient loss outlasting retries), "deadline", or "protocol".
+    failure_kind: str = ""
 
     @property
     def first_bindings(self) -> dict[str, Term]:

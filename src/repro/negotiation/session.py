@@ -58,11 +58,16 @@ class Session:
         session_id: str,
         initiator: str,
         max_nesting: int = 30,
+        deadline_at_ms: Optional[float] = None,
     ) -> None:
         self.id = session_id
         self.initiator = initiator
         self.max_nesting = max_nesting
         self.depth = 0
+        # Absolute simulated-clock instant after which the transport refuses
+        # further work for this session (None = no deadline).
+        self.deadline_at_ms = deadline_at_ms
+        self._deadline_noted = False
         self.in_flight: set[tuple[str, str, tuple]] = set()
         self.counters: Counter = Counter()
         self.transcript: list[TranscriptEvent] = []
@@ -104,6 +109,42 @@ class Session:
 
     def nesting_available(self) -> bool:
         return self.depth < self.max_nesting
+
+    # -- deadlines ------------------------------------------------------------------
+
+    def set_deadline(self, at_ms: float) -> None:
+        """Arm (or tighten) the session's absolute simulated-ms deadline."""
+        if self.deadline_at_ms is None or at_ms < self.deadline_at_ms:
+            self.deadline_at_ms = at_ms
+
+    def deadline_expired(self, now_ms: float) -> bool:
+        return self.deadline_at_ms is not None and now_ms >= self.deadline_at_ms
+
+    def note_deadline(self, now_ms: float) -> None:
+        """Record deadline exhaustion once: a counter plus one transcript
+        entry, however many in-flight branches observe it."""
+        self.counters["deadline_exceeded"] += 1
+        if not self._deadline_noted:
+            self._deadline_noted = True
+            self.log("deadline", self.initiator, "",
+                     f"budget exhausted at {now_ms:.1f} simulated ms")
+
+    # -- end-of-negotiation audit ---------------------------------------------------
+
+    def audit_in_flight(self) -> int:
+        """Invariant check run by negotiation drivers in their ``finally``:
+        no remote query may remain marked in flight once a negotiation ends,
+        even one that ended by exception.  Leaks are counted, logged, and
+        cleared so a reused session cannot inherit phantom loop-detection
+        state."""
+        leaked = len(self.in_flight)
+        if leaked:
+            self.counters["in_flight_leaked"] += leaked
+            self.log("leak", self.initiator, "",
+                     f"{leaked} in-flight entr{'y' if leaked == 1 else 'ies'} "
+                     "stranded; cleared")
+            self.in_flight.clear()
+        return leaked
 
     # -- received-credential overlays ----------------------------------------------
 

@@ -29,6 +29,13 @@ from typing import Optional
 
 from repro.credentials.credential import Credential
 from repro.datalog.ast import Literal
+from repro.errors import (
+    DeadlineExceeded,
+    NetworkError,
+    SignatureError,
+    TransientNetworkError,
+    UnknownPeerError,
+)
 from repro.net.message import DisclosureMessage, QueryMessage
 from repro.negotiation.engine import EvalContext
 from repro.negotiation.peer import Peer
@@ -43,13 +50,58 @@ def negotiate(
     goal: Literal,
     strategy: str = "parsimonious",
     max_rounds: int = 50,
+    deadline_ms: Optional[float] = None,
 ) -> NegotiationResult:
-    """Run one negotiation with the named strategy."""
+    """Run one negotiation with the named strategy.  ``deadline_ms`` bounds
+    the negotiation's simulated time (default: the requester's own
+    ``deadline_ms`` policy, if any); exhaustion yields a clean failed result,
+    never a hang or an escaping exception."""
     if strategy == "parsimonious":
-        return parsimonious_negotiate(requester, provider_name, goal)
+        return parsimonious_negotiate(requester, provider_name, goal,
+                                      deadline_ms=deadline_ms)
     if strategy == "eager":
-        return eager_negotiate(requester, provider_name, goal, max_rounds=max_rounds)
+        return eager_negotiate(requester, provider_name, goal,
+                               max_rounds=max_rounds, deadline_ms=deadline_ms)
     raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def _arm_deadline(session, transport, requester: Peer,
+                  deadline_ms: Optional[float]) -> None:
+    budget = deadline_ms if deadline_ms is not None else requester.deadline_ms
+    if budget is not None:
+        session.set_deadline(transport.now_ms + budget)
+
+
+def _record_network_failure(result: NegotiationResult, session,
+                            error: Exception) -> None:
+    """Convert a terminal network-layer error into a clean failed result."""
+    if isinstance(error, DeadlineExceeded):
+        result.failure_kind = "deadline"
+        result.failure_reason = f"deadline exceeded: {error}"
+        session.log("abort", result.requester, result.provider,
+                    "deadline exceeded")
+    elif isinstance(error, TransientNetworkError):
+        result.failure_kind = "network"
+        result.failure_reason = f"network failure outlasted retries: {error}"
+        session.log("abort", result.requester, result.provider,
+                    "network failure")
+    elif isinstance(error, SignatureError):
+        result.failure_kind = "corrupt"
+        result.failure_reason = f"payload corrupted in transit: {error}"
+        session.log("abort", result.requester, result.provider,
+                    "corrupt payload")
+    else:
+        result.failure_kind = "protocol"
+        result.failure_reason = str(error)
+        session.log("abort", result.requester, result.provider, str(error))
+
+
+def _finish_session(transport, session) -> None:
+    """End-of-negotiation audit + eviction (both strategies, every path):
+    no in-flight entries may survive, and the transport's session table must
+    not grow without bound under heavy traffic."""
+    session.audit_in_flight()
+    transport.release_session(session.id)
 
 
 # ---------------------------------------------------------------------------
@@ -60,6 +112,7 @@ def parsimonious_negotiate(
     requester: Peer,
     provider_name: str,
     goal: Literal,
+    deadline_ms: Optional[float] = None,
 ) -> NegotiationResult:
     """Send the goal to the provider and let release policies drive the
     bilateral exchange."""
@@ -68,41 +121,53 @@ def parsimonious_negotiate(
         raise RuntimeError(f"peer {requester.name!r} is not attached to a transport")
     session = transport.sessions.get_or_create(
         next_session_id(), requester.name, requester.max_nesting)
+    _arm_deadline(session, transport, requester, deadline_ms)
     session.log("initiate", requester.name, provider_name, str(goal))
-
-    reply = transport.request(QueryMessage(
-        sender=requester.name,
-        receiver=provider_name,
-        session_id=session.id,
-        goal=goal,
-    ))
 
     result = NegotiationResult(
         granted=False, goal=goal, provider=provider_name,
         requester=requester.name, session=session)
-    items = getattr(reply, "items", ())
-    if not items:
-        result.failure_reason = "provider denied or could not derive the goal"
-        return result
+    try:
+        try:
+            reply = transport.request(QueryMessage(
+                sender=requester.name,
+                receiver=provider_name,
+                session_id=session.id,
+                goal=goal,
+            ))
+        except UnknownPeerError:
+            raise  # an addressing bug in the caller, not network weather
+        except (NetworkError, SignatureError) as error:
+            _record_network_failure(result, session, error)
+            return result
 
-    overlay = session.received_for(requester.name)
-    for item in items:
-        for credential in item.credentials:
-            try:
-                requester.hold_received(credential, session)
-            except Exception:  # noqa: BLE001 - recorded, not fatal per-item
-                session.counters["bad_credentials"] += 1
-                continue
-        if item.answered_literal is not None:
-            bindings = dict(item.bindings)
-            result.answers.append((item.answered_literal, bindings))
-    result.credentials_received = list(overlay.credentials())
-    result.granted = bool(result.answers)
-    if not result.granted:
-        result.failure_reason = "answers could not be validated"
-    else:
-        session.log("granted", provider_name, requester.name, str(goal))
-    return result
+        items = getattr(reply, "items", ())
+        if not items:
+            result.failure_kind = "denied"
+            result.failure_reason = "provider denied or could not derive the goal"
+            return result
+
+        overlay = session.received_for(requester.name)
+        for item in items:
+            for credential in item.credentials:
+                try:
+                    requester.hold_received(credential, session)
+                except Exception:  # noqa: BLE001 - recorded, not fatal per-item
+                    session.counters["bad_credentials"] += 1
+                    continue
+            if item.answered_literal is not None:
+                bindings = dict(item.bindings)
+                result.answers.append((item.answered_literal, bindings))
+        result.credentials_received = list(overlay.credentials())
+        result.granted = bool(result.answers)
+        if not result.granted:
+            result.failure_kind = "denied"
+            result.failure_reason = "answers could not be validated"
+        else:
+            session.log("granted", provider_name, requester.name, str(goal))
+        return result
+    finally:
+        _finish_session(transport, session)
 
 
 # ---------------------------------------------------------------------------
@@ -200,6 +265,7 @@ def eager_negotiate(
     provider_name: str,
     goal: Literal,
     max_rounds: int = 50,
+    deadline_ms: Optional[float] = None,
 ) -> NegotiationResult:
     """Alternating rounds of maximal safe disclosure, no counter-queries."""
     transport = requester.transport
@@ -208,6 +274,7 @@ def eager_negotiate(
     provider = transport.registry.get(provider_name)
     session = transport.sessions.get_or_create(
         next_session_id("eager"), requester.name, requester.max_nesting)
+    _arm_deadline(session, transport, requester, deadline_ms)
     session.log("initiate", requester.name, provider_name, f"[eager] {goal}")
 
     result = NegotiationResult(
@@ -218,7 +285,56 @@ def eager_negotiate(
     sides = [(requester, provider), (provider, requester)]
     stalled_rounds = 0
 
-    for round_number in range(max_rounds):
+    try:
+        for round_number in range(max_rounds):
+            grant = _provider_grants(provider, requester.name, goal, session)
+            if grant is not None:
+                answered, _solution = grant
+                result.granted = True
+                result.answers.append((answered, {}))
+                result.credentials_received = list(
+                    session.received_for(requester.name).credentials())
+                session.log("granted", provider_name, requester.name, str(answered))
+                return result
+
+            disclosing, receiving = sides[round_number % 2]
+            unlocked = [
+                credential for credential in _unlocked_credentials(
+                    disclosing, receiving.name, session)
+                if credential.serial not in sent[disclosing.name]
+            ]
+            if unlocked:
+                stalled_rounds = 0
+                for credential in unlocked:
+                    session.log("disclose", disclosing.name, receiving.name,
+                                str(credential.rule.head))
+                try:
+                    transport.send(DisclosureMessage(
+                        sender=disclosing.name,
+                        receiver=receiving.name,
+                        session_id=session.id,
+                        credentials=tuple(unlocked),
+                    ))
+                except DeadlineExceeded as error:
+                    _record_network_failure(result, session, error)
+                    return result
+                except TransientNetworkError:
+                    # The batch was lost despite retries.  Not marking it
+                    # sent lets a later round re-offer it; the answer set can
+                    # only have shrunk in the meantime.
+                    session.counters["lost_disclosures"] += len(unlocked)
+                    session.log("lost", disclosing.name, receiving.name,
+                                f"{len(unlocked)} credential(s) lost in transit")
+                    stalled_rounds += 1
+                    if stalled_rounds >= 2:
+                        break
+                    continue
+                sent[disclosing.name].update(c.serial for c in unlocked)
+            else:
+                stalled_rounds += 1
+                if stalled_rounds >= 2:  # a full silent round on both sides
+                    break
+
         grant = _provider_grants(provider, requester.name, goal, session)
         if grant is not None:
             answered, _solution = grant
@@ -227,42 +343,12 @@ def eager_negotiate(
             result.credentials_received = list(
                 session.received_for(requester.name).credentials())
             session.log("granted", provider_name, requester.name, str(answered))
-            return result
-
-        disclosing, receiving = sides[round_number % 2]
-        unlocked = [
-            credential for credential in _unlocked_credentials(
-                disclosing, receiving.name, session)
-            if credential.serial not in sent[disclosing.name]
-        ]
-        if unlocked:
-            stalled_rounds = 0
-            sent[disclosing.name].update(c.serial for c in unlocked)
-            for credential in unlocked:
-                session.log("disclose", disclosing.name, receiving.name,
-                            str(credential.rule.head))
-            transport.send(DisclosureMessage(
-                sender=disclosing.name,
-                receiver=receiving.name,
-                session_id=session.id,
-                credentials=tuple(unlocked),
-            ))
         else:
-            stalled_rounds += 1
-            if stalled_rounds >= 2:  # a full silent round on both sides
-                break
-
-    grant = _provider_grants(provider, requester.name, goal, session)
-    if grant is not None:
-        answered, _solution = grant
-        result.granted = True
-        result.answers.append((answered, {}))
-        result.credentials_received = list(
-            session.received_for(requester.name).credentials())
-        session.log("granted", provider_name, requester.name, str(answered))
-    else:
-        result.failure_reason = "no further safe disclosures and goal underivable"
-    return result
+            result.failure_kind = "denied"
+            result.failure_reason = "no further safe disclosures and goal underivable"
+        return result
+    finally:
+        _finish_session(transport, session)
 
 
 # ---------------------------------------------------------------------------
@@ -275,6 +361,7 @@ def eager_multiparty_negotiate(
     goal: Literal,
     participants: Optional[list[str]] = None,
     max_rounds: int = 50,
+    deadline_ms: Optional[float] = None,
 ) -> NegotiationResult:
     """Eager negotiation over an arbitrary participant set.
 
@@ -303,6 +390,7 @@ def eager_multiparty_negotiate(
     provider = transport.registry.get(provider_name)
     session = transport.sessions.get_or_create(
         next_session_id("multiparty"), requester.name, requester.max_nesting)
+    _arm_deadline(session, transport, requester, deadline_ms)
     session.log("initiate", requester.name, provider_name,
                 f"[eager-multiparty x{len(names)}] {goal}")
 
@@ -314,10 +402,59 @@ def eager_multiparty_negotiate(
         (a, b): set() for a in names for b in names if a != b
     }
 
-    for _ in range(max_rounds):
-        grant = _provider_grants(
-            provider, requester.name, goal, session,
-            drop_peers=everyone - {provider_name})
+    try:
+        for _ in range(max_rounds):
+            grant = _provider_grants(
+                provider, requester.name, goal, session,
+                drop_peers=everyone - {provider_name})
+            if grant is not None:
+                answered, _solution = grant
+                result.granted = True
+                result.answers.append((answered, {}))
+                result.credentials_received = list(
+                    session.received_for(requester.name).credentials())
+                session.log("granted", provider_name, requester.name, str(answered))
+                return result
+
+            any_disclosure = False
+            for discloser in peers:
+                for receiver in peers:
+                    if receiver.name == discloser.name:
+                        continue
+                    unlocked = [
+                        credential for credential in _unlocked_credentials(
+                            discloser, receiver.name, session,
+                            drop_peers=everyone - {discloser.name})
+                        if credential.serial not in sent[(discloser.name, receiver.name)]
+                    ]
+                    if not unlocked:
+                        continue
+                    for credential in unlocked:
+                        session.log("disclose", discloser.name, receiver.name,
+                                    str(credential.rule.head))
+                    try:
+                        transport.send(DisclosureMessage(
+                            sender=discloser.name,
+                            receiver=receiver.name,
+                            session_id=session.id,
+                            credentials=tuple(unlocked),
+                        ))
+                    except DeadlineExceeded as error:
+                        _record_network_failure(result, session, error)
+                        return result
+                    except TransientNetworkError:
+                        session.counters["lost_disclosures"] += len(unlocked)
+                        session.log("lost", discloser.name, receiver.name,
+                                    f"{len(unlocked)} credential(s) lost in transit")
+                        continue
+                    any_disclosure = True
+                    sent[(discloser.name, receiver.name)].update(
+                        c.serial for c in unlocked)
+            if not any_disclosure:
+                break
+
+        grant = _provider_grants(provider, requester.name, goal, session,
+                                 drop_peers=everyone - {provider_name})
         if grant is not None:
             answered, _solution = grant
             result.granted = True
@@ -325,47 +462,11 @@ def eager_multiparty_negotiate(
             result.credentials_received = list(
                 session.received_for(requester.name).credentials())
             session.log("granted", provider_name, requester.name, str(answered))
-            return result
-
-        any_disclosure = False
-        for discloser in peers:
-            for receiver in peers:
-                if receiver.name == discloser.name:
-                    continue
-                unlocked = [
-                    credential for credential in _unlocked_credentials(
-                        discloser, receiver.name, session,
-                        drop_peers=everyone - {discloser.name})
-                    if credential.serial not in sent[(discloser.name, receiver.name)]
-                ]
-                if not unlocked:
-                    continue
-                any_disclosure = True
-                sent[(discloser.name, receiver.name)].update(
-                    c.serial for c in unlocked)
-                for credential in unlocked:
-                    session.log("disclose", discloser.name, receiver.name,
-                                str(credential.rule.head))
-                transport.send(DisclosureMessage(
-                    sender=discloser.name,
-                    receiver=receiver.name,
-                    session_id=session.id,
-                    credentials=tuple(unlocked),
-                ))
-        if not any_disclosure:
-            break
-
-    grant = _provider_grants(provider, requester.name, goal, session,
-                             drop_peers=everyone - {provider_name})
-    if grant is not None:
-        answered, _solution = grant
-        result.granted = True
-        result.answers.append((answered, {}))
-        result.credentials_received = list(
-            session.received_for(requester.name).credentials())
-        session.log("granted", provider_name, requester.name, str(answered))
-    else:
-        result.failure_reason = (
-            "no participant had further safe disclosures and the goal "
-            "remained underivable")
-    return result
+        else:
+            result.failure_kind = "denied"
+            result.failure_reason = (
+                "no participant had further safe disclosures and the goal "
+                "remained underivable")
+        return result
+    finally:
+        _finish_session(transport, session)

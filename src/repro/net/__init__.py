@@ -9,7 +9,9 @@ delivery plus a way to find peers — so this package provides:
 - :mod:`repro.net.transport` — a synchronous in-memory bus with a pluggable
   latency model and per-link metrics (message and byte counts, simulated
   clock);
-- :mod:`repro.net.registry` — the peer directory;
+- :mod:`repro.net.registry` — the peer directory (with liveness marking);
+- :mod:`repro.net.faults` — deterministic, seedable fault injection
+  (drop / duplicate / corrupt / delay / crash windows);
 - :mod:`repro.net.broker` — the authority broker of §4.2
   (``authority(purchaseApproved, Authority) @ myBroker``).
 """
@@ -22,9 +24,15 @@ from repro.net.message import (
     QueryMessage,
 )
 from repro.net.broker import BrokerDirectory, broker_program
+from repro.net.faults import FaultPlan, FaultRule, uniform_plan
 from repro.net.superpeer import SuperPeerNetwork
 from repro.net.registry import PeerRegistry
-from repro.net.transport import LatencyModel, Transport, TransportStats
+from repro.net.transport import (
+    LatencyModel,
+    RetryPolicy,
+    Transport,
+    TransportStats,
+)
 
 __all__ = [
     "Message",
@@ -39,4 +47,8 @@ __all__ = [
     "Transport",
     "TransportStats",
     "LatencyModel",
+    "FaultPlan",
+    "FaultRule",
+    "uniform_plan",
+    "RetryPolicy",
 ]

@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the in-memory transport.
+
+A :class:`FaultPlan` decides, per transmitted message, whether the network
+drops it, duplicates it, corrupts its payload, or delays it — plus whether
+either endpoint is inside a scheduled crash window.  All stochastic choices
+are drawn from **one** ``random.Random(seed)``, so a (plan seed, message
+sequence) pair replays identically: chaos tests and the fault-tolerance
+benchmark sweep are reproducible bit-for-bit.
+
+The fault model (DESIGN.md "Fault tolerance"):
+
+- **drop** — the message is transmitted (bandwidth and latency are charged)
+  but never arrives; surfaces as
+  :class:`repro.errors.TransientNetworkError` and is retryable;
+- **duplicate** — the message arrives twice; receivers dedupe by message id
+  (the transport's reply cache), so handlers run once;
+- **corrupt** — the payload is damaged in transit.  Replies carrying
+  credentials are *tampered* (signature bytes flipped) and delivered, so the
+  receiver's ordinary verification rejects them; payloads with nothing to
+  tamper surface as :class:`repro.errors.SignatureError` at the transport
+  edge.  Corruption is detected deterministically, hence fatal for that
+  attempt's proof branch — never retried;
+- **delay** — extra simulated milliseconds charged before delivery
+  (the reorder analogue for a synchronous RPC transport);
+- **crash windows** — ``crash(peer, at_ms, until_ms)`` schedules an outage
+  on the transport's simulated clock.  While down, every message to or from
+  the peer fails with :class:`repro.errors.PeerUnavailableError`; because
+  retry backoff advances the same clock, a patient retry policy can outlast
+  an outage and observe the restart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.credentials.credential import Credential
+from repro.net.message import AnswerItem, AnswerMessage, DisclosureMessage, Message
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """Per-link/per-kind fault rates.  ``None`` selectors match anything;
+    the first matching rule in a plan decides a message's fate."""
+
+    sender: Optional[str] = None
+    receiver: Optional[str] = None
+    kind: Optional[str] = None        # message class name, e.g. "QueryMessage"
+    drop: float = 0.0                 # P(message lost in transit)
+    duplicate: float = 0.0            # P(message delivered twice)
+    corrupt: float = 0.0              # P(payload damaged in transit)
+    delay_rate: float = 0.0           # P(extra delay charged)
+    delay_ms: float = 0.0             # max extra delay, uniform in [0, delay_ms]
+
+    def matches(self, message: Message) -> bool:
+        if self.sender is not None and message.sender != self.sender:
+            return False
+        if self.receiver is not None and message.receiver != self.receiver:
+            return False
+        if self.kind is not None and message.kind != self.kind:
+            return False
+        return True
+
+
+@dataclass(slots=True)
+class FaultDecision:
+    """What the plan decided for one transmission."""
+
+    drop: bool = False
+    duplicate: bool = False
+    corrupt: bool = False
+    crashed: bool = False             # drop caused by a crash window
+    extra_delay_ms: float = 0.0
+
+
+class FaultPlan:
+    """Seeded fault schedule consumed by :class:`repro.net.transport.Transport`.
+
+    ``stats`` counts every injected fault so experiments can report how much
+    chaos a run actually saw (a 10% drop plan on a short negotiation may
+    inject zero faults — the counter disambiguates).
+    """
+
+    def __init__(self, seed: int = 0, rules: tuple[FaultRule, ...] = ()) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.rules: list[FaultRule] = list(rules)
+        self.stats: Counter = Counter()
+        self._crash_windows: dict[str, list[tuple[float, float]]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_rule(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def crash(self, peer: str, at_ms: float,
+              until_ms: float = float("inf")) -> "FaultPlan":
+        """Schedule an outage: ``peer`` is down for simulated clock values in
+        ``[at_ms, until_ms)`` and restarts at ``until_ms``."""
+        self._crash_windows.setdefault(peer, []).append((at_ms, until_ms))
+        return self
+
+    # -- queries ----------------------------------------------------------------
+
+    def is_down(self, peer: str, now_ms: float) -> bool:
+        for start, end in self._crash_windows.get(peer, ()):
+            if start <= now_ms < end:
+                return True
+        return False
+
+    def rule_for(self, message: Message) -> Optional[FaultRule]:
+        for rule in self.rules:
+            if rule.matches(message):
+                return rule
+        return None
+
+    def decide(self, message: Message, now_ms: float) -> FaultDecision:
+        """One transmission's fate.  Consumes RNG draws in a fixed order
+        (delay, drop, duplicate, corrupt) so runs replay deterministically."""
+        decision = FaultDecision()
+        if self.is_down(message.sender, now_ms) or self.is_down(message.receiver, now_ms):
+            self.stats["crash_drops"] += 1
+            decision.drop = True
+            decision.crashed = True
+            return decision
+        rule = self.rule_for(message)
+        if rule is None:
+            return decision
+        rng = self.rng
+        if rule.delay_rate and rng.random() < rule.delay_rate:
+            decision.extra_delay_ms = rng.random() * rule.delay_ms
+            self.stats["delays"] += 1
+        if rule.drop and rng.random() < rule.drop:
+            decision.drop = True
+            self.stats["drops"] += 1
+            return decision
+        if rule.duplicate and rng.random() < rule.duplicate:
+            decision.duplicate = True
+            self.stats["duplicates"] += 1
+        if rule.corrupt and rng.random() < rule.corrupt:
+            decision.corrupt = True
+            self.stats["corruptions"] += 1
+        return decision
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, {len(self.rules)} rule(s), "
+                f"{len(self._crash_windows)} crash schedule(s))")
+
+
+def uniform_plan(seed: int = 0, drop: float = 0.0, duplicate: float = 0.0,
+                 corrupt: float = 0.0, delay_rate: float = 0.0,
+                 delay_ms: float = 0.0) -> FaultPlan:
+    """A plan applying the same rates to every link and message kind."""
+    return FaultPlan(seed=seed, rules=(FaultRule(
+        drop=drop, duplicate=duplicate, corrupt=corrupt,
+        delay_rate=delay_rate, delay_ms=delay_ms),))
+
+
+# -- payload tampering -----------------------------------------------------------
+
+def tampered_credential(credential: Credential) -> Credential:
+    """The credential with its first signature's leading byte flipped — what
+    a bit error in transit does to the wire form.  Verification must fail."""
+    signatures = list(credential.signatures)
+    if signatures:
+        first = signatures[0]
+        signatures[0] = bytes([first[0] ^ 0xFF]) + first[1:] if first else b"\xff"
+    else:
+        signatures = [b"\xff"]
+    return dataclasses.replace(credential, signatures=tuple(signatures))
+
+
+def _tampered_item(item: AnswerItem) -> Optional[AnswerItem]:
+    if item.credentials:
+        damaged = (tampered_credential(item.credentials[0]),) + item.credentials[1:]
+        return dataclasses.replace(item, credentials=damaged)
+    if item.answer_credential is not None:
+        return dataclasses.replace(
+            item, answer_credential=tampered_credential(item.answer_credential))
+    return None
+
+
+def tamper_message(message: Message) -> Optional[Message]:
+    """A copy of ``message`` with one credential's signature damaged, or
+    ``None`` when it carries nothing tamperable (the transport then models
+    corruption as an edge-detected checksum failure instead)."""
+    if isinstance(message, AnswerMessage):
+        for index, item in enumerate(message.items):
+            damaged = _tampered_item(item)
+            if damaged is not None:
+                items = message.items[:index] + (damaged,) + message.items[index + 1:]
+                return dataclasses.replace(message, items=items)
+        return None
+    if isinstance(message, DisclosureMessage) and message.credentials:
+        damaged = (tampered_credential(message.credentials[0]),) + message.credentials[1:]
+        return dataclasses.replace(message, credentials=damaged)
+    return None

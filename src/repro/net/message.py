@@ -36,7 +36,14 @@ def next_message_id() -> int:
 
 @dataclass(frozen=True, slots=True)
 class Message:
-    """Common envelope fields; concrete messages subclass this."""
+    """Common envelope fields; concrete messages subclass this.
+
+    ``message_id`` doubles as the transport's *idempotency key*: a retried
+    request reuses the same message object (and id), so the receiver-side
+    reply cache can recognise redelivery — whether caused by a retry after a
+    lost reply or by a fault-injected duplicate — and serve the cached reply
+    instead of re-executing the handler.
+    """
 
     sender: str
     receiver: str
@@ -50,6 +57,11 @@ class Message:
     @property
     def kind(self) -> str:
         return type(self).__name__
+
+    @property
+    def dedup_key(self) -> tuple[str, str, int]:
+        """Receiver-side deduplication key for exactly-once execution."""
+        return (self.sender, self.receiver, self.message_id)
 
 
 def _credential_size(credential: Credential) -> int:

@@ -26,10 +26,19 @@ class MessageHandler(Protocol):
 
 
 class PeerRegistry:
-    """Name → peer lookup with strict registration semantics."""
+    """Name → peer lookup with strict registration semantics.
+
+    Registration is identity; *liveness* is separate: ``mark_down`` models a
+    crashed or partitioned peer without forgetting who it is, so traffic to
+    it fails transiently (retryable) rather than as an addressing error, and
+    ``mark_up`` models the restart.  Scheduled churn lives in
+    :class:`repro.net.faults.FaultPlan` crash windows; this is the manual
+    control tests and drivers use.
+    """
 
     def __init__(self) -> None:
         self._peers: dict[str, MessageHandler] = {}
+        self._down: set[str] = set()
 
     def register(self, peer: MessageHandler) -> None:
         existing = self._peers.get(peer.name)
@@ -40,6 +49,20 @@ class PeerRegistry:
 
     def unregister(self, name: str) -> None:
         self._peers.pop(name, None)
+        self._down.discard(name)
+
+    # -- liveness (peer churn) ------------------------------------------------
+
+    def mark_down(self, name: str) -> None:
+        """The peer is crashed/partitioned: keep its registration, fail its
+        traffic transiently until :meth:`mark_up`."""
+        self._down.add(name)
+
+    def mark_up(self, name: str) -> None:
+        self._down.discard(name)
+
+    def is_up(self, name: str) -> bool:
+        return name not in self._down
 
     def get(self, name: str) -> MessageHandler:
         peer = self._peers.get(name)

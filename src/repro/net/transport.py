@@ -1,17 +1,29 @@
-"""Synchronous in-memory transport with latency modelling and metrics.
+"""Synchronous in-memory transport with latency modelling, metrics, and
+fault tolerance.
 
 Negotiations in this reproduction run as nested request/response calls —
 the natural shape for a backward-chaining metainterpreter — so the
-transport's job is delivery, accounting, and failure injection:
+transport's job is delivery, accounting, and surviving an imperfect
+network:
 
 - **metrics**: message and byte counts, per-link and per-kind breakdowns,
   and a simulated clock advanced by a pluggable :class:`LatencyModel`
   (experiments report negotiation cost in messages/bytes/simulated-ms,
   independent of host speed);
 - **limits**: an optional maximum message size
-  (:class:`repro.errors.MessageTooLargeError`) and a hop budget per session;
-- **failure injection**: a drop predicate for testing partial failure
-  (dropped requests surface as :class:`repro.errors.NetworkError`).
+  (:class:`repro.errors.MessageTooLargeError`) and per-session deadlines
+  (a simulated-ms budget; exhaustion raises
+  :class:`repro.errors.DeadlineExceeded`, which negotiation drivers convert
+  into a clean failure outcome);
+- **fault injection**: a seeded :class:`repro.net.faults.FaultPlan`
+  (drop / duplicate / corrupt / delay / crash windows) plus the legacy
+  ``drop`` predicate; lost messages surface as
+  :class:`repro.errors.TransientNetworkError`;
+- **resilience**: an optional :class:`RetryPolicy` retries transient
+  failures with exponential backoff + jitter *charged to the simulated
+  clock*; message ids double as idempotency keys, and a receiver-side reply
+  cache dedupes redelivery (a retried or duplicated request returns the
+  cached reply instead of re-executing the handler).
 """
 
 from __future__ import annotations
@@ -21,7 +33,15 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.errors import MessageTooLargeError, NetworkError
+from repro.errors import (
+    DeadlineExceeded,
+    MessageTooLargeError,
+    NetworkError,
+    PeerUnavailableError,
+    SignatureError,
+    TransientNetworkError,
+)
+from repro.net.faults import FaultDecision, FaultPlan, tamper_message
 from repro.net.message import Message
 from repro.net.registry import PeerRegistry
 
@@ -41,9 +61,37 @@ def bandwidth_latency(base_ms: float = 1.0, ms_per_kb: float = 0.5) -> LatencyMo
 
 def jittered_latency(base_ms: float = 1.0, jitter_ms: float = 0.5,
                      seed: int = 0) -> LatencyModel:
-    """Base latency plus deterministic pseudo-random jitter."""
-    generator = random.Random(seed)
-    return lambda sender, receiver, size: base_ms + generator.random() * jitter_ms
+    """Base latency plus pseudo-random jitter, deterministic per
+    ``(sender, receiver, size)`` — not per call order — so retries and
+    duplicated messages cannot perturb unrelated links' timings."""
+
+    def model(sender: str, receiver: str, size: int) -> float:
+        draw = random.Random(f"{seed}|{sender}|{receiver}|{size}").random()
+        return base_ms + draw * jitter_ms
+
+    return model
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient delivery failures.
+
+    ``max_attempts`` counts total tries (1 = no retries).  The ``n``-th
+    backoff waits ``min(base_delay_ms * multiplier**(n-1), max_delay_ms)``
+    plus uniform jitter in ``[0, jitter_ms)`` — all charged to the
+    transport's simulated clock, so patient policies visibly pay for their
+    persistence in simulated-ms."""
+
+    max_attempts: int = 3
+    base_delay_ms: float = 5.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 200.0
+    jitter_ms: float = 1.0
+
+    def backoff_ms(self, failure_count: int, rng: random.Random) -> float:
+        delay = min(self.base_delay_ms * self.multiplier ** (failure_count - 1),
+                    self.max_delay_ms)
+        return delay + (rng.random() * self.jitter_ms if self.jitter_ms else 0.0)
 
 
 @dataclass
@@ -53,6 +101,9 @@ class TransportStats:
     messages: int = 0
     bytes: int = 0
     simulated_ms: float = 0.0
+    retries: int = 0
+    dropped: int = 0
+    duplicates_suppressed: int = 0
     by_kind: Counter = field(default_factory=Counter)
     by_link: dict[tuple[str, str], int] = field(default_factory=lambda: defaultdict(int))
 
@@ -68,6 +119,8 @@ class TransportStats:
             "messages": self.messages,
             "bytes": self.bytes,
             "simulated_ms": round(self.simulated_ms, 3),
+            "retries": self.retries,
+            "dropped": self.dropped,
             "by_kind": dict(self.by_kind),
         }
 
@@ -77,7 +130,8 @@ class Transport:
 
     ``request`` performs an RPC-style exchange: the receiver's ``handle``
     runs inline and its reply (if any) is accounted and returned.  One-way
-    traffic uses ``send``.
+    traffic uses ``send``.  Both retry transient failures under ``retry``
+    and consult ``faults`` for injected chaos.
     """
 
     def __init__(
@@ -86,12 +140,25 @@ class Transport:
         latency: Optional[LatencyModel] = None,
         max_message_bytes: Optional[int] = None,
         drop: Optional[Callable[[Message], bool]] = None,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        retain_sessions: bool = False,
     ) -> None:
         self.registry = registry if registry is not None else PeerRegistry()
         self.latency = latency if latency is not None else bandwidth_latency()
         self.max_message_bytes = max_message_bytes
         self.drop = drop
+        self.faults = faults
+        self.retry = retry
+        self.retain_sessions = retain_sessions
         self.stats = TransportStats()
+        # Monotonic simulated clock: advances with message latency, injected
+        # delay, and retry backoff; never reset (deadlines anchor to it).
+        self.now_ms = 0.0
+        self._backoff_rng = random.Random(0)
+        # session_id -> idempotency key -> cached reply / delivered marker.
+        self._reply_cache: dict[str, dict[tuple, Message]] = {}
+        self._delivered_oneway: dict[str, set[tuple]] = {}
         # Shared negotiation-session table (import here to keep net/ free of
         # a hard dependency direction at module-import time).
         from repro.negotiation.session import SessionTable
@@ -105,40 +172,191 @@ class Transport:
         # Give the peer a back-reference so it can issue its own requests.
         setattr(peer, "transport", self)
 
-    # -- delivery --------------------------------------------------------------------
+    # -- clock and deadlines --------------------------------------------------------
 
-    def _account(self, message: Message) -> None:
+    def _advance(self, milliseconds: float) -> None:
+        self.now_ms += milliseconds
+
+    def _charge_backoff(self, milliseconds: float) -> None:
+        self.stats.simulated_ms += milliseconds
+        self._advance(milliseconds)
+
+    def _session_for(self, message: Message):
+        return self.sessions.get(message.session_id)
+
+    def _check_deadline(self, message: Message) -> None:
+        session = self._session_for(message)
+        if session is not None and session.deadline_expired(self.now_ms):
+            session.note_deadline(self.now_ms)
+            raise DeadlineExceeded(
+                f"session {session.id!r} exceeded its deadline of "
+                f"{session.deadline_at_ms:.1f} simulated ms "
+                f"(clock now {self.now_ms:.1f})")
+
+    # -- fault-aware single transmission ----------------------------------------------
+
+    def _transmit(self, message: Message) -> Optional[FaultDecision]:
+        """Account one transmission of ``message`` and apply the fault plan.
+        Raises on size violation, crash, drop, or (caller-side) corruption
+        of an untamperable payload; returns the fault decision otherwise."""
         size = message.wire_size()
         if self.max_message_bytes is not None and size > self.max_message_bytes:
             raise MessageTooLargeError(
                 f"{message.kind} of {size} bytes exceeds limit "
                 f"{self.max_message_bytes}")
-        if self.drop is not None and self.drop(message):
-            raise NetworkError(
+        if not self.registry.is_up(message.receiver):
+            self.stats.dropped += 1
+            raise PeerUnavailableError(
+                f"peer {message.receiver!r} is down")
+        decision = (self.faults.decide(message, self.now_ms)
+                    if self.faults is not None else None)
+        if decision is not None and decision.extra_delay_ms:
+            self.stats.simulated_ms += decision.extra_delay_ms
+            self._advance(decision.extra_delay_ms)
+        # The message consumes bandwidth and time even when it is then lost.
+        latency = self.latency(message.sender, message.receiver, size)
+        self.stats.record(message, size, latency)
+        self._advance(latency)
+        if decision is not None and decision.crashed:
+            self.stats.dropped += 1
+            raise PeerUnavailableError(
+                f"{message.kind} lost: a crash window covers the "
+                f"{message.sender!r}->{message.receiver!r} link")
+        if (decision is not None and decision.drop) or (
+                self.drop is not None and self.drop(message)):
+            self.stats.dropped += 1
+            raise TransientNetworkError(
                 f"{message.kind} from {message.sender!r} to "
                 f"{message.receiver!r} was dropped")
-        self.stats.record(message, size,
-                          self.latency(message.sender, message.receiver, size))
+        return decision
 
-    def send(self, message: Message) -> None:
-        """One-way delivery; the receiver's reply (if any) is discarded."""
-        self._account(message)
-        self.registry.get(message.receiver).handle(message)
+    def _apply_corruption(self, message: Message) -> Message:
+        """Model in-transit payload damage: tamper a carried credential (the
+        receiver's verification then rejects it), or — with nothing to
+        tamper — fail deterministically at the checksum edge."""
+        damaged = tamper_message(message)
+        if damaged is None:
+            raise SignatureError(
+                f"{message.kind} from {message.sender!r} to "
+                f"{message.receiver!r} failed its payload checksum")
+        return damaged
 
-    def request(self, message: Message) -> Message:
-        """RPC exchange: deliver, run the handler, account and return the
-        reply.  A handler returning ``None`` is a protocol violation."""
-        self._account(message)
+    # -- handler dispatch with idempotent dedup ---------------------------------------
+
+    def _count_for_session(self, message: Message, counter: str) -> None:
+        session = self._session_for(message)
+        if session is not None:
+            session.counters[counter] += 1
+
+    def _dispatch_request(self, message: Message) -> Message:
+        cache = self._reply_cache.setdefault(message.session_id, {})
+        key = message.dedup_key
+        cached = cache.get(key)
+        if cached is not None:
+            self.stats.duplicates_suppressed += 1
+            self._count_for_session(message, "duplicates_suppressed")
+            return cached
         reply = self.registry.get(message.receiver).handle(message)
         if reply is None:
             raise NetworkError(
                 f"peer {message.receiver!r} returned no reply to "
                 f"{message.kind}")
-        self._account(reply)
+        cache[key] = reply
         return reply
 
+    def _dispatch_oneway(self, message: Message) -> None:
+        delivered = self._delivered_oneway.setdefault(message.session_id, set())
+        key = message.dedup_key
+        if key in delivered:
+            self.stats.duplicates_suppressed += 1
+            self._count_for_session(message, "duplicates_suppressed")
+            return
+        delivered.add(key)
+        self.registry.get(message.receiver).handle(message)
+
+    # -- delivery --------------------------------------------------------------------
+
+    def _with_retries(self, message: Message, attempt_once) -> Message:
+        """Run ``attempt_once`` under the retry policy: transient failures
+        back off (charged to the simulated clock) and retry with the *same*
+        message — its id is the idempotency key — until attempts run out."""
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        last_error: Optional[TransientNetworkError] = None
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                self._charge_backoff(
+                    self.retry.backoff_ms(attempt - 1, self._backoff_rng))
+                self.stats.retries += 1
+                self._count_for_session(message, "retries")
+            self._check_deadline(message)
+            try:
+                return attempt_once()
+            except TransientNetworkError as error:
+                last_error = error
+        self._count_for_session(message, "gave_up")
+        assert last_error is not None
+        raise last_error
+
+    def send(self, message: Message) -> None:
+        """One-way delivery; the receiver's reply (if any) is discarded."""
+
+        def attempt_once() -> Message:
+            decision = self._transmit(message)
+            payload = message
+            if decision is not None and decision.corrupt:
+                payload = self._apply_corruption(message)
+            self._dispatch_oneway(payload)
+            if decision is not None and decision.duplicate:
+                # The network delivered a second copy: account it; the
+                # delivered-set suppresses re-execution.
+                self.stats.record(message, message.wire_size(), 0.0)
+                self._dispatch_oneway(payload)
+            return message
+
+        self._with_retries(message, attempt_once)
+
+    def request(self, message: Message) -> Message:
+        """RPC exchange: deliver, run the handler (once — redelivery hits
+        the reply cache), account and return the reply.  A handler returning
+        ``None`` is a protocol violation."""
+
+        def attempt_once() -> Message:
+            request_decision = self._transmit(message)
+            if request_decision is not None and request_decision.corrupt:
+                # A damaged query cannot be meaningfully evaluated; the
+                # receiver's edge detects it.  Deterministic, so no retry.
+                self._apply_corruption(message)
+            reply = self._dispatch_request(message)
+            if request_decision is not None and request_decision.duplicate:
+                self.stats.record(message, message.wire_size(), 0.0)
+                self._dispatch_request(message)
+            reply_decision = self._transmit(reply)
+            if reply_decision is not None and reply_decision.corrupt:
+                reply_payload = self._apply_corruption(reply)
+                return reply_payload
+            if reply_decision is not None and reply_decision.duplicate:
+                self.stats.record(reply, reply.wire_size(), 0.0)
+                self.stats.duplicates_suppressed += 1
+                self._count_for_session(message, "duplicates_suppressed")
+            return reply
+
+        return self._with_retries(message, attempt_once)
+
+    # -- session lifecycle --------------------------------------------------------------
+
+    def release_session(self, session_id: str) -> None:
+        """Negotiation finished: evict the session's reply cache and (unless
+        ``retain_sessions`` opts into post-hoc inspection via the table) the
+        session itself.  Results keep their own reference to the Session
+        object, so transcripts stay readable after eviction."""
+        self._reply_cache.pop(session_id, None)
+        self._delivered_oneway.pop(session_id, None)
+        if not self.retain_sessions:
+            self.sessions.forget(session_id)
+
     def reset_stats(self) -> TransportStats:
-        """Swap in fresh counters and return the old ones."""
+        """Swap in fresh counters and return the old ones.  The monotonic
+        clock (``now_ms``) keeps running — deadlines span resets."""
         previous = self.stats
         self.stats = TransportStats()
         return previous

@@ -21,7 +21,8 @@ from repro.datalog.ast import Rule
 from repro.datalog.parser import parse_program, parse_rule
 from repro.errors import CredentialError
 from repro.negotiation.peer import Peer
-from repro.net.transport import LatencyModel, Transport
+from repro.net.faults import FaultPlan
+from repro.net.transport import LatencyModel, RetryPolicy, Transport
 
 
 class World:
@@ -29,12 +30,26 @@ class World:
 
     def __init__(self, key_bits: int = 512,
                  latency: Optional[LatencyModel] = None,
-                 use_key_cache: bool = True) -> None:
+                 use_key_cache: bool = True,
+                 faults: Optional[FaultPlan] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 retain_sessions: bool = False) -> None:
         self.key_bits = key_bits
         self.use_key_cache = use_key_cache
-        self.transport = Transport(latency=latency)
+        self.transport = Transport(latency=latency, faults=faults,
+                                   retry=retry,
+                                   retain_sessions=retain_sessions)
         self.peers: dict[str, Peer] = {}
         self.issuers: dict[str, KeyPair] = {}
+
+    # -- fault tolerance knobs --------------------------------------------------
+
+    def inject_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or clear, with ``None``) a fault plan on the transport."""
+        self.transport.faults = plan
+
+    def set_retry(self, policy: Optional[RetryPolicy]) -> None:
+        self.transport.retry = policy
 
     # -- principals -----------------------------------------------------------
 

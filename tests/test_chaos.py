@@ -1,0 +1,269 @@
+"""Chaos suite: full negotiations under seeded network faults.
+
+Runs the paper's scenarios over a transport with a deterministic
+:class:`repro.net.faults.FaultPlan` and checks the robustness contract:
+
+- moderate chaos (drops + duplicates) is absorbed by retries and the paper
+  outcomes still hold;
+- total chaos (100% drop) terminates with a clean, classified failure —
+  no hang, no escaping exception, no stranded ``in_flight`` entries;
+- corruption never admits an unverified credential into any session
+  overlay;
+- scheduled crash windows are outlasted by patient retry policies;
+- deadline budgets convert exhaustion into a clean "deadline" outcome.
+
+``CHAOS_SEED`` (env, default 1337) selects the replayable fault stream, so
+CI can pin a seed while local runs can explore others.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import World, negotiate, parse_literal
+from repro.credentials.credential import verify_credential
+from repro.errors import SignatureError
+from repro.net.faults import FaultPlan, uniform_plan
+from repro.net.transport import RetryPolicy
+from repro.scenarios.elena_network import build_elena_network
+
+KEY_BITS = 512
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "1337"))
+
+PATIENT = RetryPolicy(max_attempts=6, base_delay_ms=2.0, multiplier=2.0,
+                      max_delay_ms=50.0, jitter_ms=0.5)
+
+
+def overlay_credentials_all_verify(session, world):
+    """Every credential in every per-peer overlay of ``session`` verifies
+    against that peer's keyring — the no-unverified-material invariant."""
+    for peer_name, peer in world.peers.items():
+        for credential in session.received_for(peer_name).credentials():
+            verify_credential(credential, peer.keyring)  # raises on tamper
+    return True
+
+
+@pytest.fixture()
+def network():
+    return build_elena_network(key_bits=KEY_BITS)
+
+
+class TestModerateChaos:
+    """10% drop + 10% duplication: retries absorb the weather and the
+    paper's §3/§4 outcomes still hold."""
+
+    def test_alice_free_enrollment_survives(self, network):
+        network.world.inject_faults(
+            uniform_plan(seed=CHAOS_SEED, drop=0.1, duplicate=0.1))
+        network.world.set_retry(PATIENT)
+        result = negotiate(network.alice, "E-Learn",
+                           parse_literal('enroll(spanish205, "Alice")'))
+        assert result.granted
+        assert not result.session.in_flight
+        assert overlay_credentials_all_verify(result.session, network.world)
+
+    def test_bob_brokered_enrollment_survives(self, network):
+        network.world.inject_faults(
+            uniform_plan(seed=CHAOS_SEED, drop=0.1, duplicate=0.1))
+        network.world.set_retry(PATIENT)
+        result = negotiate(network.bob, "E-Learn",
+                           parse_literal('enroll(cs411, "Bob")'))
+        assert result.granted
+        assert not result.session.in_flight
+
+    def test_chaos_was_actually_injected(self, network):
+        plan = uniform_plan(seed=CHAOS_SEED, drop=0.1, duplicate=0.1)
+        network.world.inject_faults(plan)
+        network.world.set_retry(PATIENT)
+        negotiate(network.alice, "E-Learn",
+                  parse_literal('enroll(spanish205, "Alice")'))
+        negotiate(network.bob, "E-Learn", parse_literal('enroll(cs411, "Bob")'))
+        # The runs above must have seen real faults, or the suite proves
+        # nothing: the plan's own stats disambiguate.
+        assert plan.stats["drops"] + plan.stats["duplicates"] >= 1
+
+    def test_same_seed_replays_same_traffic(self):
+        costs = []
+        for _ in range(2):
+            net = build_elena_network(key_bits=KEY_BITS)
+            net.world.inject_faults(
+                uniform_plan(seed=CHAOS_SEED, drop=0.15, duplicate=0.1))
+            net.world.set_retry(PATIENT)
+            result = negotiate(net.alice, "E-Learn",
+                               parse_literal('enroll(spanish205, "Alice")'))
+            costs.append((result.granted, net.world.stats.messages,
+                          net.world.stats.dropped,
+                          round(net.world.stats.simulated_ms, 6)))
+        assert costs[0] == costs[1]
+
+
+class TestTotalChaos:
+    """100% drop: the negotiation must terminate promptly and cleanly."""
+
+    def test_clean_failure_no_exception_no_leak(self, network):
+        network.world.inject_faults(uniform_plan(seed=CHAOS_SEED, drop=1.0))
+        network.world.set_retry(RetryPolicy(max_attempts=3, jitter_ms=0.0))
+        result = negotiate(network.alice, "E-Learn",
+                           parse_literal('enroll(spanish205, "Alice")'))
+        assert not result.granted
+        assert result.failure_kind == "network"
+        assert "retries" in result.failure_reason
+        assert not result.session.in_flight
+        assert result.session.counters["in_flight_leaked"] == 0
+        # The session was evicted from the transport table.
+        assert network.world.transport.sessions.get(result.session.id) is None
+
+    def test_eager_strategy_also_terminates(self, network):
+        network.world.inject_faults(uniform_plan(seed=CHAOS_SEED, drop=1.0))
+        network.world.set_retry(RetryPolicy(max_attempts=2, jitter_ms=0.0))
+        result = negotiate(network.alice, "E-Learn",
+                           parse_literal('enroll(spanish205, "Alice")'),
+                           strategy="eager")
+        assert not result.granted
+        assert result.failure_kind in ("denied", "network")
+        assert result.session.counters["lost_disclosures"] >= 1
+        assert not result.session.in_flight
+
+
+class TestCorruption:
+    """Tampered payloads are rejected by verification; nothing unverified
+    ever enters a session overlay (the answer set can only shrink)."""
+
+    def test_no_unverified_credential_admitted(self, network):
+        from repro.net.faults import FaultRule
+
+        # Corrupt every *reply*: queries still flow, so the negotiation
+        # actually exchanges (tampered) credentials before failing.
+        network.world.inject_faults(FaultPlan(
+            seed=CHAOS_SEED,
+            rules=(FaultRule(kind="AnswerMessage", corrupt=1.0),)))
+        result = negotiate(network.alice, "E-Learn",
+                           parse_literal('enroll(spanish205, "Alice")'))
+        # Alice's student/membership disclosures arrive with flipped
+        # signature bytes, fail verification at E-Learn, and the free-course
+        # path cannot hold.
+        assert not result.granted
+        assert result.session.counters["bad_credentials"] >= 1
+        assert overlay_credentials_all_verify(result.session, network.world)
+        assert not result.session.in_flight
+
+    def test_fully_corrupt_link_aborts_cleanly(self, network):
+        # Even the initial query is damaged: the edge detects it and the
+        # driver converts the deterministic failure into a clean outcome.
+        network.world.inject_faults(uniform_plan(seed=CHAOS_SEED, corrupt=1.0))
+        result = negotiate(network.alice, "E-Learn",
+                           parse_literal('enroll(spanish205, "Alice")'))
+        assert not result.granted
+        assert result.failure_kind == "corrupt"
+        assert not result.session.in_flight
+
+    def test_partial_corruption_still_only_shrinks(self, network):
+        network.world.inject_faults(uniform_plan(seed=CHAOS_SEED, corrupt=0.3))
+        network.world.set_retry(PATIENT)
+        result = negotiate(network.alice, "E-Learn",
+                           parse_literal('enroll(spanish205, "Alice")'))
+        # Whatever the outcome at this corruption rate, the invariants hold.
+        assert overlay_credentials_all_verify(result.session, network.world)
+        assert not result.session.in_flight
+
+
+class TestCrashRestart:
+    def _quickstart(self):
+        world = World(key_bits=KEY_BITS)
+        world.add_peer("Server",
+                       'hello(Requester) $ true <- '
+                       'friend(Requester) @ "CA" @ Requester.')
+        client = world.add_peer(
+            "Client", 'friend(X) @ Y $ true <-{true} friend(X) @ Y.')
+        world.issuer("CA")
+        world.distribute_keys()
+        world.give_credentials("Client", 'friend("Client") signedBy ["CA"].')
+        return world, client
+
+    def test_patient_retry_outlasts_server_outage(self):
+        world, client = self._quickstart()
+        world.inject_faults(FaultPlan(seed=CHAOS_SEED).crash("Server", 0.0, 20.0))
+        world.set_retry(RetryPolicy(max_attempts=5, base_delay_ms=10.0,
+                                    multiplier=2.0, jitter_ms=0.0))
+        result = negotiate(client, "Server", parse_literal('hello("Client")'))
+        assert result.granted
+        assert world.stats.retries >= 1
+        assert world.transport.faults.stats["crash_drops"] >= 1
+
+    def test_impatient_client_fails_during_outage(self):
+        world, client = self._quickstart()
+        world.inject_faults(FaultPlan(seed=CHAOS_SEED).crash("Server", 0.0, 20.0))
+        result = negotiate(client, "Server", parse_literal('hello("Client")'))
+        assert not result.granted
+        assert result.failure_kind == "network"
+        assert not result.session.in_flight
+
+
+class TestDeadlines:
+    def test_deadline_exhaustion_is_a_clean_outcome(self, network):
+        # A tiny budget expires partway into the nested counter-queries.
+        result = negotiate(network.alice, "E-Learn",
+                           parse_literal('enroll(spanish205, "Alice")'),
+                           deadline_ms=2.5)
+        assert not result.granted
+        assert result.failure_kind == "deadline"
+        assert result.session.counters["deadline_exceeded"] >= 1
+        assert any(e.kind == "deadline" for e in result.session.transcript)
+        assert not result.session.in_flight
+
+    def test_generous_deadline_does_not_interfere(self, network):
+        result = negotiate(network.alice, "E-Learn",
+                           parse_literal('enroll(spanish205, "Alice")'),
+                           deadline_ms=100000.0)
+        assert result.granted
+
+    def test_peer_default_deadline_applies(self):
+        world = World(key_bits=KEY_BITS)
+        world.add_peer("Server", "open(1) <-{true} true.")
+        client = world.add_peer("Client", deadline_ms=0.0)
+        world.distribute_keys()
+        result = negotiate(client, "Server", parse_literal("open(1)"))
+        assert not result.granted
+        assert result.failure_kind == "deadline"
+
+
+# ---------------------------------------------------------------------------
+# Property: negotiations never strand in-flight state or admit unverified
+# material, whatever the weather.
+# ---------------------------------------------------------------------------
+
+SEEDS = st.integers(min_value=0, max_value=100_000)
+DROPS = st.sampled_from([0.0, 0.2, 0.5, 1.0])
+
+
+class TestChaosProperties:
+    @given(seed=SEEDS, drop=DROPS)
+    @settings(max_examples=12, deadline=None)
+    def test_in_flight_always_empty_and_overlays_verified(self, seed, drop):
+        from repro.workloads.generator import build_random_bilateral
+
+        workload = build_random_bilateral(seed, key_bits=KEY_BITS)
+        workload.world.inject_faults(
+            uniform_plan(seed=seed, drop=drop, duplicate=0.2, corrupt=0.1))
+        workload.world.set_retry(RetryPolicy(max_attempts=3, jitter_ms=0.5))
+        result = workload.run()
+        assert not result.session.in_flight
+        assert result.session.counters["in_flight_leaked"] == 0
+        assert overlay_credentials_all_verify(result.session, workload.world)
+        # Clean classification: granted XOR a failure kind is recorded.
+        assert result.granted == (result.failure_kind == "")
+
+    @given(seed=SEEDS)
+    @settings(max_examples=8, deadline=None)
+    def test_zero_deadline_never_escapes(self, seed):
+        from repro.workloads.generator import build_random_bilateral
+
+        workload = build_random_bilateral(seed, key_bits=KEY_BITS)
+        result = negotiate(
+            workload.requester, workload.provider_name, workload.goal,
+            deadline_ms=0.0)
+        assert not result.granted
+        assert result.failure_kind == "deadline"
+        assert not result.session.in_flight

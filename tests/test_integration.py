@@ -125,8 +125,9 @@ class TestEndToEndProofPackaging:
         # E-Learn received Alice's credentials; they re-derive her status.
         from repro.negotiation.proof import CertifiedProof
 
-        received = scenario.world.transport.sessions.get(
-            result.session.id).received_for("E-Learn")
+        # Completed sessions are evicted from the transport table; the
+        # result keeps the Session object for post-hoc inspection.
+        received = result.session.received_for("E-Learn")
         package = CertifiedProof(
             parse_literal('student("Alice") @ "UIUC"'),
             tuple(c for c in received.credentials()
@@ -145,8 +146,13 @@ class TestMessageSizeLimits:
         world.add_peer("Server", "open(1) <-{true} true.")
         client = world.add_peer("Client")
         world.distribute_keys()
-        with pytest.raises(MessageTooLargeError):
-            negotiate(client, "Server", parse_literal("open(1)"))
+        # Deterministic transport failures no longer escape the driver: the
+        # negotiation terminates with a clean, classified failure result.
+        result = negotiate(client, "Server", parse_literal("open(1)"))
+        assert not result.granted
+        assert result.failure_kind == "protocol"
+        assert "exceeds limit" in result.failure_reason
+        assert not result.session.in_flight
 
 
 class TestNetworkFailureInjection:

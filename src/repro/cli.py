@@ -80,9 +80,35 @@ def _configure_chaos(world, args) -> None:
         world.set_retry(RetryPolicy(max_attempts=retries))
 
 
+def _print_cache_stats(out, session=None) -> None:
+    """The ``--stats`` block: hot-path cache counters across every layer."""
+    from repro.crypto.rsa import SIGNATURE_CACHE_STATS
+    from repro.datalog.sld import GLOBAL_COUNTERS, canonical_cache_info
+    from repro.datalog.terms import INTERN_STATS
+
+    interning = INTERN_STATS.snapshot()
+    signatures = SIGNATURE_CACHE_STATS.snapshot()
+    canonical = canonical_cache_info()
+    print("\ncache stats:", file=out)
+    print(f"  intern_hits:     {interning['intern_hits']} "
+          f"({interning['intern_misses']} misses)", file=out)
+    print(f"  sig_cache_hits:  {signatures['sig_cache_hits']} "
+          f"({signatures['sig_cache_misses']} misses, "
+          f"{signatures['sig_cache_size']} cached)", file=out)
+    print(f"  table_reuse:     {GLOBAL_COUNTERS.get('table_reuse', 0)}", file=out)
+    print(f"  canonical_hits:  {canonical.hits} ({canonical.misses} misses)",
+          file=out)
+    if session is not None:
+        for counter in ("sig_cache_hits",):
+            if session.counters.get(counter):
+                print(f"  session {counter}: {session.counters[counter]}",
+                      file=out)
+
+
 def _run_negotiation(world, requester_name: str, provider_name: str,
                      goal_text: str, strategy: str, out,
-                     deadline_ms: Optional[float] = None) -> int:
+                     deadline_ms: Optional[float] = None,
+                     show_stats: bool = False) -> int:
     from repro.datalog.parser import parse_literal
     from repro.negotiation.strategies import negotiate
 
@@ -110,6 +136,8 @@ def _run_negotiation(world, requester_name: str, provider_name: str,
               file=out)
     print("\ntranscript:", file=out)
     print(result.session.render_transcript(), file=out)
+    if show_stats:
+        _print_cache_stats(out, session=result.session)
     return 0 if result.granted else 1
 
 
@@ -168,7 +196,8 @@ def cmd_demo(args, out) -> int:
     world, (requester, provider, goal) = _build_demo_world(args.name)
     _configure_chaos(world, args)
     return _run_negotiation(world, requester, provider, goal,
-                            args.strategy, out, deadline_ms=args.deadline_ms)
+                            args.strategy, out, deadline_ms=args.deadline_ms,
+                            show_stats=args.stats)
 
 
 def cmd_save_demo(args, out) -> int:
@@ -188,7 +217,8 @@ def cmd_negotiate(args, out) -> int:
     _configure_chaos(world, args)
     return _run_negotiation(world, args.requester, args.provider,
                             args.goal, args.strategy, out,
-                            deadline_ms=args.deadline_ms)
+                            deadline_ms=args.deadline_ms,
+                            show_stats=args.stats)
 
 
 def cmd_query(args, out) -> int:
@@ -203,6 +233,8 @@ def cmd_query(args, out) -> int:
     goal = parse_literal(args.goal)
     solutions = peer.local_query(goal, allow_remote=not args.local_only)
     if not solutions:
+        if args.stats:
+            _print_cache_stats(out)
         print("no.", file=out)
         return 1
     for solution in solutions:
@@ -211,6 +243,8 @@ def cmd_query(args, out) -> int:
             from repro.datalog.explain import explain
 
             print(explain(solution.proofs[0], indent=2), file=out)
+    if args.stats:
+        _print_cache_stats(out)
     return 0
 
 
@@ -256,11 +290,17 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="MS",
                            help="simulated-ms budget for the negotiation")
 
+    def add_stats_option(sub) -> None:
+        sub.add_argument("--stats", action="store_true",
+                         help="print hot-path cache counters "
+                              "(interning, signature cache, table reuse)")
+
     p = subparsers.add_parser("demo", help="run one of the paper scenarios")
     p.add_argument("name", choices=DEMOS)
     p.add_argument("--strategy", default="parsimonious",
                    choices=("parsimonious", "eager"))
     add_chaos_options(p)
+    add_stats_option(p)
     p.set_defaults(handler=cmd_demo)
 
     p = subparsers.add_parser("save-demo", help="snapshot a demo world to JSON")
@@ -276,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="parsimonious",
                    choices=("parsimonious", "eager"))
     add_chaos_options(p)
+    add_stats_option(p)
     p.set_defaults(handler=cmd_negotiate)
 
     p = subparsers.add_parser("query", help="evaluate a goal as one peer")
@@ -286,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="forbid remote sub-queries")
     p.add_argument("--explain", action="store_true",
                    help="print the proof tree of each answer")
+    add_stats_option(p)
     p.set_defaults(handler=cmd_query)
 
     p = subparsers.add_parser("version", help="print the library version")

@@ -81,6 +81,19 @@ def verify_chain(
         certificate.check_validity(now)
         for crl in crls:
             if crl.issuer == certificate.issuer and crl.is_revoked(certificate.serial):
+                # A revoked certificate (possibly an intermediate CA) must
+                # not leave a warm signature-cache entry behind: withdraw
+                # the cached verdict so nothing downstream can replay a
+                # positive verification of the now-distrusted binding.
+                from repro.crypto.rsa import evict_cached_verification
+
+                issuer_key = (chain[position + 1].subject_key
+                              if position + 1 < len(chain)
+                              else trust_anchors.maybe_get(certificate.issuer))
+                if issuer_key is not None:
+                    evict_cached_verification(
+                        certificate.signing_bytes(), certificate.signature,
+                        issuer_key.rsa_key)
                 raise CertificateError(
                     f"certificate for {certificate.subject!r} is revoked")
         if position + 1 < len(chain):

@@ -161,6 +161,18 @@ def verify_credential(
 
     for crl in revocation_lists:
         if getattr(crl, "is_revoked")(credential.serial):
+            # Withdraw the cached signature verdicts for this credential:
+            # revocation means the issuer's say-so is no longer trusted, and
+            # a later verification (e.g. against a ring that no longer holds
+            # the issuer) must recompute from scratch rather than replay a
+            # remembered positive.  Revocation itself is (re)checked on every
+            # presentation, so the cache can never mask it either way.
+            from repro.crypto.rsa import evict_cached_verification
+
+            for name, signature in zip(signer_names, credential.signatures):
+                key = keyring.maybe_get(name)
+                if key is not None:
+                    evict_cached_verification(message, signature, key.rsa_key)
             raise RevokedCredentialError(
                 f"credential {credential.serial[:12]} revoked by {getattr(crl, 'issuer', '?')}")
 

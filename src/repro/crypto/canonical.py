@@ -22,6 +22,8 @@ before a rule is signed and sent.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.datalog.ast import Literal, Rule
 from repro.datalog.terms import Compound, Constant, Term, Variable
 
@@ -109,6 +111,11 @@ def canonical_bytes(value: Term | Literal | Rule) -> bytes:
     raise TypeError(f"cannot canonicalise {type(value).__name__}")
 
 
+@lru_cache(maxsize=4096)
+def _rule_signing_bytes_cached(rule: Rule) -> bytes:
+    return canonical_bytes(rule.strip_contexts())
+
+
 def rule_signing_bytes(rule: Rule) -> bytes:
     """The bytes a signer commits to: the context-stripped rule.
 
@@ -116,6 +123,13 @@ def rule_signing_bytes(rule: Rule) -> bytes:
     policy, not part of the signed statement; §3.2 strips them before signing.
     The signer list is included so a signature cannot be replayed under a
     different claimed signer chain.
+
+    Memoised: rules are immutable values, and the same credential rule is
+    re-serialised on every verification, serial computation, and store
+    lookup — the canonical bytes are computed once per rule per process.
     """
-    stripped = rule.strip_contexts()
-    return canonical_bytes(stripped)
+    return _rule_signing_bytes_cached(rule)
+
+
+def clear_canonical_bytes_cache() -> None:
+    _rule_signing_bytes_cached.cache_clear()

@@ -7,17 +7,100 @@ verification is an exact byte comparison after the public-key operation.
 
 This module works on raw integers and byte strings; the typed wrapper
 (:class:`repro.crypto.keys.KeyPair`) is what the rest of the library uses.
+
+Verification results are cached in a bounded LRU keyed by
+``(modulus, exponent, message digest, signature)``: a credential that is
+re-presented across sessions and peers pays the public-key operation once
+per process.  The cached verdict is a pure mathematical fact (the signature
+either matches the bytes under that key or it does not), so the cache can
+never mask *policy* decisions such as revocation or expiry — those are
+checked by the credential layer on every presentation.  Layers that must
+guarantee a fresh computation (e.g. after a CA lands on a CRL) can evict
+entries with :func:`evict_cached_verification`.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.crypto.numbertheory import modular_inverse, random_prime_pair
 from repro.errors import CryptoError, SignatureError
 
 PUBLIC_EXPONENT = 65537
+
+_SIGNATURE_CACHE_MAX = 4096
+_signature_cache: "OrderedDict[tuple, bool]" = OrderedDict()
+_signature_cache_enabled = True
+
+
+class SignatureCacheStats:
+    """Process-wide counters for the verification cache."""
+
+    __slots__ = ("hits", "misses", "evictions", "sign_hits")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.sign_hits = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "sig_cache_hits": self.hits,
+            "sig_cache_misses": self.misses,
+            "sig_cache_evictions": self.evictions,
+            "sig_cache_sign_hits": self.sign_hits,
+            "sig_cache_size": len(_signature_cache),
+        }
+
+
+SIGNATURE_CACHE_STATS = SignatureCacheStats()
+
+
+def set_signature_cache(enabled: bool) -> bool:
+    """Enable/disable verification caching; returns the previous state."""
+    global _signature_cache_enabled
+    previous = _signature_cache_enabled
+    _signature_cache_enabled = enabled
+    return previous
+
+
+def clear_signature_cache() -> None:
+    _signature_cache.clear()
+
+
+def reset_signature_cache_stats() -> None:
+    SIGNATURE_CACHE_STATS.hits = 0
+    SIGNATURE_CACHE_STATS.misses = 0
+    SIGNATURE_CACHE_STATS.evictions = 0
+    SIGNATURE_CACHE_STATS.sign_hits = 0
+
+
+def _cache_key(message: bytes, signature: bytes, public_key: "RSAPublicKey") -> tuple:
+    return (
+        public_key.modulus,
+        public_key.exponent,
+        hashlib.sha256(message).digest(),
+        signature,
+    )
+
+
+def evict_cached_verification(
+    message: bytes, signature: bytes, public_key: "RSAPublicKey"
+) -> bool:
+    """Drop one cached verdict; returns whether an entry was present.
+
+    Used by the credential layer when trust in a key is withdrawn (CA
+    revocation): the next verification is recomputed from scratch rather
+    than served from memory.
+    """
+    removed = _signature_cache.pop(_cache_key(message, signature, public_key), None)
+    if removed is not None:
+        SIGNATURE_CACHE_STATS.evictions += 1
+        return True
+    return False
 
 # DER prefix of DigestInfo for SHA-256 (RFC 8017 §9.2 note 1).
 _SHA256_DIGEST_INFO_PREFIX = bytes.fromhex(
@@ -76,7 +159,30 @@ def _emsa_pkcs1_encode(message: bytes, target_length: int) -> bytes:
 
 
 def sign(message: bytes, private_key: RSAPrivateKey) -> bytes:
-    """Deterministic RSA signature of ``message``."""
+    """Deterministic RSA signature of ``message``.
+
+    Signing is cached alongside verification (EMSA-PKCS1-v1.5 is
+    deterministic, so the signature is a pure function of key and message):
+    a peer that issues the same answer credential on every negotiation pays
+    the CRT exponentiation once.
+    """
+    if _signature_cache_enabled:
+        key = ("sign", private_key.modulus, private_key.exponent,
+               hashlib.sha256(message).digest())
+        cached = _signature_cache.get(key)
+        if cached is not None:
+            _signature_cache.move_to_end(key)
+            SIGNATURE_CACHE_STATS.sign_hits += 1
+            return cached
+    signature = _sign_uncached(message, private_key)
+    if _signature_cache_enabled:
+        _signature_cache[key] = signature
+        if len(_signature_cache) > _SIGNATURE_CACHE_MAX:
+            _signature_cache.popitem(last=False)
+    return signature
+
+
+def _sign_uncached(message: bytes, private_key: RSAPrivateKey) -> bytes:
     encoded = _emsa_pkcs1_encode(message, private_key.byte_length)
     representative = int.from_bytes(encoded, "big")
     # CRT acceleration: ~4x faster than a single modexp on the full modulus.
@@ -97,6 +203,23 @@ def verify(message: bytes, signature: bytes, public_key: RSAPublicKey) -> bool:
     signature is an error (:class:`repro.errors.SignatureError`) or just a
     rejected credential.
     """
+    if _signature_cache_enabled:
+        key = _cache_key(message, signature, public_key)
+        cached = _signature_cache.get(key)
+        if cached is not None:
+            _signature_cache.move_to_end(key)
+            SIGNATURE_CACHE_STATS.hits += 1
+            return cached
+        SIGNATURE_CACHE_STATS.misses += 1
+    result = _verify_uncached(message, signature, public_key)
+    if _signature_cache_enabled:
+        _signature_cache[key] = result
+        if len(_signature_cache) > _SIGNATURE_CACHE_MAX:
+            _signature_cache.popitem(last=False)
+    return result
+
+
+def _verify_uncached(message: bytes, signature: bytes, public_key: RSAPublicKey) -> bool:
     if len(signature) != public_key.byte_length:
         return False
     signature_int = int.from_bytes(signature, "big")

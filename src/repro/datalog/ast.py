@@ -50,6 +50,11 @@ class Literal:
     args: tuple[Term, ...] = ()
     authority: tuple[Term, ...] = ()
     negated: bool = False
+    # Lazily-computed groundness, excluded from eq/hash/repr.  Ground
+    # literals are fixpoints of apply/rename, and resolution applies the
+    # same goals over and over — caching the flag turns those into no-ops.
+    _ground: Optional[bool] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.args, tuple):
@@ -100,6 +105,8 @@ class Literal:
         return result
 
     def apply(self, subst: Substitution) -> "Literal":
+        if self.is_ground():
+            return self
         return Literal(
             self.predicate,
             tuple(subst.resolve(a) for a in self.args),
@@ -108,6 +115,8 @@ class Literal:
         )
 
     def rename(self, mapping: dict[Variable, Variable]) -> "Literal":
+        if self.is_ground():
+            return self
         return Literal(
             self.predicate,
             tuple(rename_term(a, mapping) for a in self.args),
@@ -116,7 +125,11 @@ class Literal:
         )
 
     def is_ground(self) -> bool:
-        return not self.variables()
+        ground = self._ground
+        if ground is None:
+            ground = not self.variables()
+            object.__setattr__(self, "_ground", ground)
+        return ground
 
     # -- rendering -----------------------------------------------------------
 
@@ -146,6 +159,10 @@ class Rule:
     guard: Optional[Goals] = None
     rule_context: Optional[Goals] = None
     signers: tuple[Term, ...] = field(default=())
+    # Same lazily-computed groundness flag as Literal: ground rules (facts,
+    # shipped credentials) need no renaming before resolution.
+    _ground: Optional[bool] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.body, tuple):
@@ -194,6 +211,8 @@ class Rule:
         return result
 
     def apply(self, subst: Substitution) -> "Rule":
+        if self.is_ground():
+            return self
         return Rule(
             self.head.apply(subst),
             tuple(lit.apply(subst) for lit in self.body),
@@ -207,6 +226,8 @@ class Rule:
     def rename_apart(self) -> "Rule":
         """A variant of this rule with globally fresh variables, for use in
         resolution steps."""
+        if self.is_ground():
+            return self
         mapping: dict[Variable, Variable] = {}
         return Rule(
             self.head.rename(mapping),
@@ -225,7 +246,11 @@ class Rule:
         return Rule(self.head, self.body, None, None, self.signers)
 
     def is_ground(self) -> bool:
-        return not self.variables()
+        ground = self._ground
+        if ground is None:
+            ground = not self.variables()
+            object.__setattr__(self, "_ground", ground)
+        return ground
 
     # -- rendering -------------------------------------------------------------
 

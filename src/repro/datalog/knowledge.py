@@ -74,9 +74,31 @@ class _PredicateBucket:
             # Unbound first argument: everything is a candidate.
             yield from self.ordered
             return
-        positions = sorted(self.fact_index.get(key, []) + self.unindexed)
-        for position in positions:
-            yield self.ordered[position]
+        indexed = self.fact_index.get(key)
+        if not indexed:
+            for position in self.unindexed:
+                yield self.ordered[position]
+            return
+        # Both position lists are already sorted (appends are monotone, and
+        # _reindex rebuilds them in order), so a two-pointer merge restores
+        # program order in O(n) — no per-goal sorted() of the concatenation.
+        ordered = self.ordered
+        unindexed = self.unindexed
+        i = j = 0
+        indexed_len, unindexed_len = len(indexed), len(unindexed)
+        while i < indexed_len and j < unindexed_len:
+            if indexed[i] < unindexed[j]:
+                yield ordered[indexed[i]]
+                i += 1
+            else:
+                yield ordered[unindexed[j]]
+                j += 1
+        while i < indexed_len:
+            yield ordered[indexed[i]]
+            i += 1
+        while j < unindexed_len:
+            yield ordered[unindexed[j]]
+            j += 1
 
     def remove(self, rule: Rule) -> bool:
         for position, existing in enumerate(self.ordered):
@@ -106,9 +128,18 @@ class KnowledgeBase:
         self._content: dict[tuple[str, int], _PredicateBucket] = {}
         self._release: dict[tuple[str, int], list[Rule]] = defaultdict(list)
         self._count = 0
+        # Bumped on every successful mutation; engines compare it against
+        # the generation their memo tables were built at, so retained
+        # answer tables can never serve stale derivations.
+        self._generation = 0
         if rules:
             for rule in rules:
                 self.add(rule)
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter (cache-invalidation stamp)."""
+        return self._generation
 
     # -- mutation ---------------------------------------------------------------
 
@@ -123,6 +154,7 @@ class KnowledgeBase:
                 bucket = self._content[rule.head.indicator] = _PredicateBucket()
             bucket.add(rule)
         self._count += 1
+        self._generation += 1
 
     def add_all(self, rules: Iterable[Rule]) -> None:
         for rule in rules:
@@ -143,11 +175,13 @@ class KnowledgeBase:
             if rule in policies:
                 policies.remove(rule)
                 self._count -= 1
+                self._generation += 1
                 return True
             return False
         bucket = self._content.get(rule.head.indicator)
         if bucket is not None and bucket.remove(rule):
             self._count -= 1
+            self._generation += 1
             return True
         return False
 

@@ -24,16 +24,24 @@ engine wants: its own session-level loop detection governs termination.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.datalog.ast import Literal, Rule
 from repro.datalog.builtins import DEFAULT_REGISTRY, BuiltinRegistry
 from repro.datalog.knowledge import KnowledgeBase
 from repro.datalog.substitution import Substitution
-from repro.datalog.terms import Compound, Constant, Term, Variable
+from repro.datalog.terms import INTERN_STATS, Compound, Constant, Term, Variable
 from repro.datalog.unify import unify
 from repro.errors import BuiltinError, DepthLimitExceeded, EvaluationError
+
+# Process-wide engine counters, aggregated across every SLDEngine instance
+# (negotiations create short-lived engines per evaluation context, so
+# per-instance stats alone cannot answer "how often did caches help this
+# run?").  Surfaced by ``peertrust ... --stats``.
+GLOBAL_COUNTERS: Counter = Counter()
 
 # A dispatcher may return None ("not mine, resolve normally") or an iterator
 # of (substitution, proof) pairs covering the goal entirely.
@@ -112,21 +120,27 @@ class Solution:
 
 @dataclass
 class SLDStats:
-    """Engine counters, reset per :class:`SLDEngine` instance."""
+    """Engine counters, reset per :class:`SLDEngine` instance.
+
+    ``table_reuse`` counts goals served from answer tables *retained from an
+    earlier query* (cross-query reuse), a subset of ``table_hits``.
+    ``intern_hits`` is the number of term-intern-table hits observed while
+    this engine's queries ran (the intern table itself is process-wide).
+    ``sig_cache_hits`` is filled in by the layers above the logic engine
+    (crypto is not a datalog dependency); it stays 0 for plain engines.
+    """
 
     resolutions: int = 0
     builtin_calls: int = 0
     table_hits: int = 0
     depth_cutoffs: int = 0
     fixpoint_passes: int = 0
+    table_reuse: int = 0
+    intern_hits: int = 0
+    sig_cache_hits: int = 0
 
 
-def canonical_literal(literal: Literal) -> tuple:
-    """A hashable key identifying ``literal`` up to variable renaming.
-
-    Variables are numbered in order of first occurrence, so ``p(X, Y)`` and
-    ``p(A, B)`` share a key while ``p(X, X)`` gets a different one.
-    """
+def _canonical_literal(literal: Literal) -> tuple:
     numbering: dict[Variable, int] = {}
 
     def canon_term(term: Term) -> tuple:
@@ -144,6 +158,31 @@ def canonical_literal(literal: Literal) -> tuple:
         tuple(canon_term(a) for a in literal.args),
         tuple(canon_term(a) for a in literal.authority),
     )
+
+
+# Resolved goals repeat heavily across fixpoint passes, tabling lookups, and
+# re-queries; memoising the canonical form turns each repeat into one dict
+# probe.  Bounded so one-shot literals (fresh renamings) cannot grow it
+# without limit.  Safe because literals are immutable values.
+_canonical_literal_cached = lru_cache(maxsize=16384)(_canonical_literal)
+
+
+def canonical_literal(literal: Literal) -> tuple:
+    """A hashable key identifying ``literal`` up to variable renaming.
+
+    Variables are numbered in order of first occurrence, so ``p(X, Y)`` and
+    ``p(A, B)`` share a key while ``p(X, X)`` gets a different one.
+    """
+    return _canonical_literal_cached(literal)
+
+
+def canonical_cache_info():
+    """Hit/miss statistics of the memoised canonical form (for --stats)."""
+    return _canonical_literal_cached.cache_info()
+
+
+def clear_canonical_cache() -> None:
+    _canonical_literal_cached.cache_clear()
 
 
 def unify_literals(goal: Literal, head: Literal,
@@ -178,6 +217,13 @@ class SLDEngine:
         ``strict_depth`` is set, in which case it raises.
     tabled:
         Memoise answers per call pattern and iterate queries to fixpoint.
+    retain_tables:
+        Keep saturated answer tables across :meth:`query` calls so a
+        repeated query replays memoised answers instead of re-deriving.
+        Defaults to the value of ``tabled``.  Retained tables are stamped
+        with the knowledge base's generation counter and dropped
+        automatically when the KB mutates — reuse can never serve stale
+        answers.
     dispatch:
         Optional interception hook (see module docstring).
     """
@@ -192,11 +238,13 @@ class SLDEngine:
         dispatch: Optional[Dispatcher] = None,
         rule_transform: Optional[Callable[[Rule], Rule]] = None,
         reorder_bodies: bool = False,
+        retain_tables: Optional[bool] = None,
     ) -> None:
         self.kb = kb
         self.builtins = builtins if builtins is not None else DEFAULT_REGISTRY
         self.max_depth = max_depth
         self.tabled = tabled
+        self.retain_tables = tabled if retain_tables is None else retain_tables
         self.strict_depth = strict_depth
         self.dispatch = dispatch
         # Applied to every clause before it is renamed apart; the negotiation
@@ -208,9 +256,14 @@ class SLDEngine:
         self.reorder_bodies = reorder_bodies
         self._reordered: dict[tuple, Rule] = {}
         self.stats = SLDStats()
-        self._tables: dict[tuple, list[tuple[Literal, ProofNode]]] = {}
+        # Answer tables: call-pattern key -> {answer key: (answer, proof)}.
+        # The inner dict preserves insertion order for fair replay and makes
+        # duplicate detection O(1) instead of a rescan per recorded answer.
+        self._tables: dict[tuple, dict[tuple, tuple[Literal, ProofNode]]] = {}
         self._active: set[tuple] = set()
         self._completed: set[tuple] = set()
+        self._retained: frozenset[tuple] = frozenset()
+        self._kb_generation = kb.generation
         self._table_grew = False
         self._reentered = False
 
@@ -233,6 +286,8 @@ class SLDEngine:
         for goal in goal_list:
             query_vars |= goal.variables()
 
+        self._sync_tables()
+        intern_hits_before = INTERN_STATS.hits
         answers: dict[tuple, Solution] = {}
         while True:
             self._table_grew = False
@@ -252,6 +307,7 @@ class SLDEngine:
             # At fixpoint every memo table is saturated for the current KB;
             # later queries may replay them without re-deriving.
             self._completed.update(self._tables)
+        self.stats.intern_hits += INTERN_STATS.hits - intern_hits_before
         solutions = list(answers.values())
         if max_solutions is not None:
             solutions = solutions[:max_solutions]
@@ -272,6 +328,7 @@ class SLDEngine:
         streaming interface for stratified/non-recursive goals.
         """
         base = subst if subst is not None else Substitution.empty()
+        self._sync_tables()
         for result_subst, proofs in self._solve(tuple(goals), base, 0):
             yield Solution(result_subst, proofs)
 
@@ -286,6 +343,23 @@ class SLDEngine:
         Public for negotiation dispatchers that need to prove credential
         rule bodies or reduced goals inside an ongoing resolution."""
         yield from self._solve(tuple(goals), subst, depth)
+
+    def _sync_tables(self) -> None:
+        """Prepare memo tables for a fresh top-level evaluation.
+
+        Drops them when the KB has mutated since they were built (stale) or
+        when cross-query retention is disabled; otherwise marks the already
+        completed call patterns as *retained* so replays from them can be
+        attributed to cross-query reuse in the stats.
+        """
+        generation = self.kb.generation
+        if generation != self._kb_generation:
+            self.clear_tables()
+            self._kb_generation = generation
+        elif not self.retain_tables:
+            self._tables.clear()
+            self._completed.clear()
+        self._retained = frozenset(self._completed)
 
     # -- core resolution -------------------------------------------------------
 
@@ -354,7 +428,11 @@ class SLDEngine:
         key = canonical_literal(resolved_goal)
 
         if self.tabled and key in self._completed:
-            for answer, answer_proof in self._tables.get(key, []):
+            if key in self._retained:
+                self.stats.table_reuse += 1
+                GLOBAL_COUNTERS["table_reuse"] += 1
+            table = self._tables.get(key)
+            for answer, answer_proof in (table.values() if table else ()):
                 self.stats.table_hits += 1
                 renamed = answer.rename({})
                 unified = unify_literals(goal, renamed, subst)
@@ -367,7 +445,8 @@ class SLDEngine:
             # Re-entrant call: replay table answers (tabled) or prune (untabled).
             self._reentered = True
             if self.tabled:
-                for answer, answer_proof in list(self._tables.get(key, [])):
+                table = self._tables.get(key)
+                for answer, answer_proof in (list(table.values()) if table else ()):
                     self.stats.table_hits += 1
                     renamed = answer.rename({})
                     unified = unify_literals(goal, renamed, subst)
@@ -378,7 +457,7 @@ class SLDEngine:
 
         self._active.add(key)
         try:
-            table = self._tables.setdefault(key, []) if self.tabled else None
+            table = self._tables.setdefault(key, {}) if self.tabled else None
             for rule in list(self.kb.rules_for(resolved_goal)):
                 self.stats.resolutions += 1
                 if self.reorder_bodies and len(rule.body) > 1:
@@ -432,7 +511,7 @@ class SLDEngine:
 
     def _record_answer(
         self,
-        table: Optional[list[tuple[Literal, ProofNode]]],
+        table: Optional[dict[tuple, tuple[Literal, ProofNode]]],
         goal: Literal,
         subst: Substitution,
         proof: ProofNode,
@@ -443,10 +522,9 @@ class SLDEngine:
             return False
         answer = goal.apply(subst)
         answer_key = canonical_literal(answer)
-        for existing, _ in table:
-            if canonical_literal(existing) == answer_key:
-                return False
-        table.append((answer, proof))
+        if answer_key in table:
+            return False
+        table[answer_key] = (answer, proof)
         self._table_grew = True
         return True
 
@@ -467,6 +545,12 @@ class SLDEngine:
     # -- maintenance -------------------------------------------------------------
 
     def clear_tables(self) -> None:
-        """Drop memoised answers (call after mutating the KB)."""
+        """Drop memoised answers.
+
+        Called automatically when the KB's generation counter moves; still
+        public for callers that want a cold engine regardless.
+        """
         self._tables.clear()
         self._completed.clear()
+        self._retained = frozenset()
+        self._kb_generation = self.kb.generation

@@ -82,7 +82,12 @@ class Substitution:
         which every bound variable has been replaced transitively."""
         term = self.walk(term)
         if isinstance(term, Compound):
-            return Compound(term.functor, tuple(self.resolve(a) for a in term.args))
+            resolved = tuple(self.resolve(a) for a in term.args)
+            if all(a is b for a, b in zip(resolved, term.args)):
+                # Nothing changed: reuse the existing (hash-cached) object
+                # instead of allocating a structurally-identical copy.
+                return term
+            return Compound(term.functor, resolved)
         return term
 
     def is_bound(self, variable: Variable) -> bool:

@@ -12,6 +12,14 @@ Terms follow the usual first-order syntax:
 All terms are immutable and hashable so they can live in sets, dictionaries,
 and tabling memo tables.  Equality is structural.
 
+:class:`Variable` and :class:`Constant` are *hash-consed*: constructing the
+same variable or constant twice returns the same object, so the engine's
+hottest comparisons (unification, table lookups, fact indexing) hit the
+``a is b`` fast path instead of re-walking structure.  Interning is an
+optimisation, not a semantic guarantee — equality remains structural, so
+terms built while interning was disabled (or surviving a
+:func:`clear_intern_tables`) still compare equal to interned ones.
+
 Constants distinguish *atoms* from *strings* only for pretty-printing: the
 paper writes peer names as quoted strings (``"E-Learn"``) and resource
 identifiers as atoms (``cs101``), and round-tripping programs through the
@@ -23,11 +31,57 @@ Prolog's distinction between ``x`` and ``"x"``.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Iterator, Union
 
 NumberValue = Union[int, float]
 ConstantValue = Union[str, int, float, bool]
+
+
+class InternStats:
+    """Counters for the term intern tables (process-wide)."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def snapshot(self) -> dict:
+        return {"intern_hits": self.hits, "intern_misses": self.misses}
+
+
+INTERN_STATS = InternStats()
+
+# Interning can be switched off (tests compare interned against
+# structurally-built terms; benchmarks measure the before/after).
+_interning_enabled = True
+
+
+def set_interning(enabled: bool) -> bool:
+    """Enable/disable hash-consing of new terms; returns the previous state.
+
+    Existing interned terms stay valid either way — equality is structural.
+    """
+    global _interning_enabled
+    previous = _interning_enabled
+    _interning_enabled = enabled
+    return previous
+
+
+def clear_intern_tables() -> None:
+    """Drop the intern tables (long-running processes, test isolation).
+
+    Terms created before the clear remain usable and structurally equal to
+    ones created after it; only the ``is``-identity fast path is lost across
+    the boundary.
+    """
+    Variable._intern.clear()
+    Constant._intern.clear()
+
+
+def reset_intern_stats() -> None:
+    INTERN_STATS.hits = 0
+    INTERN_STATS.misses = 0
 
 
 class Term:
@@ -50,7 +104,6 @@ class Term:
         return isinstance(self, Compound)
 
 
-@dataclass(frozen=True, slots=True)
 class Variable(Term):
     """A logic variable, identified by name.
 
@@ -59,7 +112,40 @@ class Variable(Term):
     before resolution so distinct clause instances never collide.
     """
 
-    name: str
+    __slots__ = ("name", "_hash")
+
+    _intern: dict = {}
+
+    def __new__(cls, name: str) -> "Variable":
+        if _interning_enabled:
+            cached = cls._intern.get(name)
+            if cached is not None:
+                INTERN_STATS.hits += 1
+                return cached
+            INTERN_STATS.misses += 1
+        self = object.__new__(cls)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash((Variable, name)))
+        if _interning_enabled:
+            cls._intern[name] = self
+        return self
+
+    def __setattr__(self, attr: str, value) -> None:
+        raise AttributeError(f"Variable is immutable (tried to set {attr!r})")
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
@@ -68,7 +154,6 @@ class Variable(Term):
         return self.name
 
 
-@dataclass(frozen=True, slots=True)
 class Constant(Term):
     """An atomic constant.
 
@@ -77,8 +162,52 @@ class Constant(Term):
     with each other even when their text coincides.
     """
 
-    value: ConstantValue
-    quoted: bool = False
+    __slots__ = ("value", "quoted", "_hash")
+
+    _intern: dict = {}
+
+    def __new__(cls, value: ConstantValue, quoted: bool = False) -> "Constant":
+        # The intern key includes the value's type: 1, 1.0, and True are
+        # `==` in Python, and conflating them would silently rewrite the
+        # author's spelling.  Floats key on their repr — 0.0 and -0.0 are
+        # `==` with equal hashes but print differently, and the printed form
+        # feeds canonical serialisation.  Structural equality is unchanged
+        # (see __eq__).
+        if _interning_enabled:
+            key = (value.__class__,
+                   repr(value) if value.__class__ is float else value,
+                   quoted)
+            cached = cls._intern.get(key)
+            if cached is not None:
+                INTERN_STATS.hits += 1
+                return cached
+            INTERN_STATS.misses += 1
+        self = object.__new__(cls)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "quoted", quoted)
+        object.__setattr__(self, "_hash", hash((Constant, value, quoted)))
+        if _interning_enabled:
+            cls._intern[key] = self
+        return self
+
+    def __setattr__(self, attr: str, value) -> None:
+        raise AttributeError(f"Constant is immutable (tried to set {attr!r})")
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return (isinstance(other, Constant)
+                and other.value == self.value
+                and other.quoted == self.quoted)
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Constant, (self.value, self.quoted))
 
     def __repr__(self) -> str:
         return f"Constant({self.value!r}, quoted={self.quoted})"
@@ -93,16 +222,42 @@ class Constant(Term):
         return isinstance(self.value, (int, float)) and not isinstance(self.value, bool)
 
 
-@dataclass(frozen=True, slots=True)
 class Compound(Term):
-    """A functor applied to one or more argument terms."""
+    """A functor applied to one or more argument terms.
 
-    functor: str
-    args: tuple[Term, ...]
+    Compounds are not interned (their population is unbounded), but the
+    hash is computed once at construction — with interned leaves, repeated
+    hashing of deep terms in memo tables stays cheap.
+    """
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.args, tuple):
-            object.__setattr__(self, "args", tuple(self.args))
+    __slots__ = ("functor", "args", "_hash")
+
+    def __init__(self, functor: str, args: tuple[Term, ...]) -> None:
+        if not isinstance(args, tuple):
+            args = tuple(args)
+        object.__setattr__(self, "functor", functor)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash((Compound, functor, args)))
+
+    def __setattr__(self, attr: str, value) -> None:
+        raise AttributeError(f"Compound is immutable (tried to set {attr!r})")
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return (isinstance(other, Compound)
+                and other._hash == self._hash
+                and other.functor == self.functor
+                and other.args == self.args)
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Compound, (self.functor, self.args))
 
     @property
     def arity(self) -> int:
@@ -192,9 +347,17 @@ def fresh_variable(base: str = "_G") -> Variable:
     """Return a globally fresh variable.
 
     The counter is process-wide; freshness only needs to hold within one
-    engine run, which this guarantees.
+    engine run, which this guarantees.  Fresh variables bypass the intern
+    table: their names never repeat, so interning them would grow the table
+    without bound (one entry per resolution step) for zero hit-rate.  The
+    single instance created here flows through the whole derivation, so the
+    ``is`` fast path still applies wherever it matters.
     """
-    return Variable(f"{base}{next(_fresh_counter)}")
+    name = f"{base}{next(_fresh_counter)}"
+    variable = object.__new__(Variable)
+    object.__setattr__(variable, "name", name)
+    object.__setattr__(variable, "_hash", hash((Variable, name)))
+    return variable
 
 
 def rename_term(term: Term, mapping: dict[Variable, Variable]) -> Term:

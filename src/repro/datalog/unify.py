@@ -88,6 +88,10 @@ def match(
     while stack:
         p, i = stack.pop()
         p = subst.walk(p)
+        if p is i:
+            # Identical objects (common with interned ground terms) match
+            # with no bindings to add.
+            continue
         if isinstance(p, Variable):
             subst = subst.bind(p, i)
             continue
@@ -120,6 +124,11 @@ def variant(left: Term, right: Term) -> bool:
         if isinstance(a, Variable) and isinstance(b, Variable):
             if forward.setdefault(a, b) != b or backward.setdefault(b, a) != a:
                 return False
+            continue
+        if a is b and isinstance(a, Constant):
+            # Interned ground leaves: identity implies equality.  (Identity
+            # of *compound* terms cannot short-circuit here: their variables
+            # must still be recorded in the renaming maps.)
             continue
         if isinstance(a, Constant) and isinstance(b, Constant):
             if a != b:

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from repro.credentials.credential import Credential, verify_credential
 from repro.credentials.store import CredentialStore
+from repro.crypto.rsa import SIGNATURE_CACHE_STATS
 from repro.datalog.ast import Literal
 from repro.datalog.knowledge import KnowledgeBase
 from repro.datalog.sld import (
@@ -338,6 +339,10 @@ class EvalContext:
         disclosed = list(item.credentials)
         if item.answer_credential is not None:
             disclosed.append(item.answer_credential)
+        # Re-presented credentials (same rule, same signature, prior session
+        # or earlier round) verify through the process-wide RSA cache; track
+        # how often that shortcut fires for this session's disclosures.
+        sig_hits_before = SIGNATURE_CACHE_STATS.hits
         for credential in disclosed:
             try:
                 verify_credential(credential, self.peer.keyring, self.peer.crls,
@@ -347,6 +352,10 @@ class EvalContext:
                 self.session.log("reject-credential", self.peer.name, target,
                                  f"{credential.rule.head}: {error}")
                 return
+        cached_verifications = SIGNATURE_CACHE_STATS.hits - sig_hits_before
+        if cached_verifications:
+            self.session.counters["sig_cache_hits"] += cached_verifications
+            self.engine.stats.sig_cache_hits += cached_verifications
         for credential in disclosed:
             overlay.add(credential)
             self.session.mark_holder(credential.serial, self.peer.name)

@@ -363,9 +363,7 @@ class Peer:
 
         answer_credential: Optional[Credential] = None
         if answered.is_ground():
-            signed_answer = fact(
-                answered, signers=(Constant(self.name, quoted=True),))
-            answer_credential = issue_credential(signed_answer, self.keys)
+            answer_credential = self.self_credential(answered)
             if self.sticky_policies and inherited_guard:
                 answer_credential = with_sticky_guard(
                     answer_credential, inherited_guard)
@@ -441,9 +439,7 @@ class Peer:
                             continue
                 answer_credential: Optional[Credential] = None
                 if answered.is_ground():
-                    signed_answer = fact(
-                        answered, signers=(Constant(self.name, quoted=True),))
-                    answer_credential = issue_credential(signed_answer, self.keys)
+                    answer_credential = self.self_credential(answered)
                 bindings = {
                     variable.name: solution.subst.resolve(variable)
                     for variable in bound_goal.variables()

@@ -18,6 +18,7 @@ live transport state.  Reattach those after loading.
 from __future__ import annotations
 
 import json
+from functools import lru_cache
 from pathlib import Path
 from typing import Optional
 
@@ -85,16 +86,37 @@ def keypair_from_dict(data: dict) -> KeyPair:
 # Credentials
 # ---------------------------------------------------------------------------
 
+@lru_cache(maxsize=2048)
+def _credential_payload(credential: Credential) -> tuple:
+    """Memoised canonical payload of an immutable credential.
+
+    Rendering a rule to text walks its whole AST; wallets re-serialise the
+    same credentials on every snapshot (and brokers on every forward), so
+    the textual form is computed once per credential per process.  Returned
+    as an immutable tuple — :func:`credential_to_dict` copies it into a
+    fresh dict so callers can mutate their copy safely.
+    """
+    return (
+        str(credential.rule),
+        tuple(s.hex() for s in credential.signatures),
+        credential.serial,
+        credential.not_before,
+        credential.not_after,
+        (tuple(str(goal) for goal in credential.sticky_guard)
+         if credential.sticky_guard is not None else None),
+    )
+
+
 def credential_to_dict(credential: Credential) -> dict:
+    rule, signatures, serial, not_before, not_after, sticky = (
+        _credential_payload(credential))
     return {
-        "rule": str(credential.rule),
-        "signatures": [s.hex() for s in credential.signatures],
-        "serial": credential.serial,
-        "not_before": credential.not_before,
-        "not_after": credential.not_after,
-        "sticky_guard": (
-            [str(goal) for goal in credential.sticky_guard]
-            if credential.sticky_guard is not None else None),
+        "rule": rule,
+        "signatures": list(signatures),
+        "serial": serial,
+        "not_before": not_before,
+        "not_after": not_after,
+        "sticky_guard": list(sticky) if sticky is not None else None,
     }
 
 

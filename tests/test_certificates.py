@@ -107,6 +107,57 @@ class TestChains:
             verify_chain([leaf, doomed_certificate], anchors, [root.crl])
 
 
+class TestSignatureCacheRevocation:
+    """A CA landing on a CRL must not be shielded by the RSA verification
+    cache: revocation is re-checked on every presentation, and the cached
+    positive verdict for the revoked certificate is evicted."""
+
+    def test_revocation_rejected_despite_warm_cache(self, root, anchors):
+        from repro.crypto import rsa
+
+        doomed = CertificateAuthority(
+            "DoomedWarm", keys=keypair_for("DoomedWarm", KEY_BITS))
+        doomed_certificate = root.issue_intermediate(doomed)
+        leaf = doomed.issue(keypair_for("warm-victim", KEY_BITS).public)
+        chain = [leaf, doomed_certificate]
+
+        # Warm the signature cache with a fully successful validation.
+        verify_chain(chain, anchors)
+        assert rsa.verify(doomed_certificate.signing_bytes(),
+                          doomed_certificate.signature,
+                          root.keys.public.rsa_key)
+
+        # The CA is revoked: validation must fail even though every
+        # signature verdict in the chain is sitting in the cache...
+        root.revoke(doomed_certificate)
+        evictions_before = rsa.SIGNATURE_CACHE_STATS.evictions
+        with pytest.raises(CertificateError):
+            verify_chain(chain, anchors, [root.crl])
+
+        # ...and the revoked certificate's cached verdict is withdrawn, so a
+        # later lookup recomputes instead of replaying the stale positive.
+        assert rsa.SIGNATURE_CACHE_STATS.evictions == evictions_before + 1
+        assert not rsa.evict_cached_verification(
+            doomed_certificate.signing_bytes(), doomed_certificate.signature,
+            root.keys.public.rsa_key)
+
+    def test_revocation_rejected_with_cache_disabled(self, root, anchors):
+        from repro.crypto import rsa
+
+        doomed = CertificateAuthority(
+            "DoomedCold", keys=keypair_for("DoomedCold", KEY_BITS))
+        doomed_certificate = root.issue_intermediate(doomed)
+        leaf = doomed.issue(keypair_for("cold-victim", KEY_BITS).public)
+        root.revoke(doomed_certificate)
+
+        was_enabled = rsa.set_signature_cache(False)
+        try:
+            with pytest.raises(CertificateError):
+                verify_chain([leaf, doomed_certificate], anchors, [root.crl])
+        finally:
+            rsa.set_signature_cache(was_enabled)
+
+
 class TestKeyringBootstrap:
     def test_valid_certificates_imported(self, root, anchors):
         subjects = [keypair_for(f"boot-{i}", KEY_BITS) for i in range(3)]

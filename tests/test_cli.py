@@ -54,6 +54,20 @@ class TestDemo:
         assert status == 0
         assert "granted:  True" in output
 
+    def test_stats_flag_prints_cache_counters(self):
+        status, output = run_cli("demo", "quickstart", "--stats")
+        assert status == 0
+        assert "granted:  True" in output
+        assert "cache stats:" in output
+        for counter in ("intern_hits:", "sig_cache_hits:", "table_reuse:",
+                        "canonical_hits:"):
+            assert counter in output
+
+    def test_stats_off_by_default(self):
+        status, output = run_cli("demo", "quickstart")
+        assert status == 0
+        assert "cache stats:" not in output
+
 
 class TestSaveAndReuse:
     def test_save_query_negotiate(self, tmp_path):

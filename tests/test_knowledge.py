@@ -41,6 +41,28 @@ class TestAddLookup:
         added = base.load("a(1). b(X) <- a(X).")
         assert len(added) == 2 and len(base) == 2
 
+    def test_program_order_across_indexed_and_unindexed(self):
+        # Indexed facts (constant first argument) interleaved with rules and
+        # var-first facts; the candidate merge must reproduce program order,
+        # not "indexed first, then unindexed".
+        base = build(
+            "a(1, first). a(X, second) <- t(X). a(1, third). "
+            "a(Y, fourth). a(1, fifth).")
+        heads = [str(rule.head) for rule in base.rules_for(parse_literal("a(1, W)"))]
+        assert heads == [
+            "a(1, first)", "a(X, second)", "a(1, third)",
+            "a(Y, fourth)", "a(1, fifth)"]
+
+    def test_generation_bumps_on_mutation(self):
+        base = build("a(1).")
+        start = base.generation
+        rule = parse_rule("a(2).")
+        base.add(rule)
+        after_add = base.generation
+        assert after_add > start
+        base.remove(rule)
+        assert base.generation > after_add
+
 
 class TestReleaseSeparation:
     def test_release_policies_not_in_content(self):

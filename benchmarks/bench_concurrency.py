@@ -1,0 +1,126 @@
+"""E14 — Concurrency: interleaved vs serial negotiation throughput.
+
+The event-driven runtime (repro.runtime) interleaves many negotiations on
+one discrete-event scheduler under one simulated clock.  This benchmark
+runs fleets of 1 → 64 independent bilateral negotiations twice each:
+
+- **serial** — one at a time through the synchronous facade
+  (:func:`repro.runtime.run_negotiation`), the behaviour of the old inline
+  call-stack-recursive transport;
+- **interleaved** — all at once through :func:`repro.runtime.run_many`.
+
+The reported *speedup* is simulated-time utilisation: the sum of the
+individual negotiation spans divided by the interleaved batch's makespan.
+It is deterministic (simulated clock, seeded randomness), machine
+independent, and equals 1.0 for a single negotiation — the facade adds no
+simulated overhead.  Interleaved throughput must be >= serial throughput at
+equal total work, i.e. every speedup >= ~1; ``benchmarks/regress.py``
+gates on the committed baseline (``benchmarks/reports/
+bench_concurrency.json``).
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_concurrency.py
+[--quick]``) or under pytest.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench.reporting import format_table
+from repro.net.transport import constant_latency
+from repro.workloads.generator import build_bilateral_fleet
+
+REPORT_PATH = Path(__file__).resolve().parent / "reports" / "bench_concurrency.json"
+TRAJECTORY = "BENCH_CONCURRENCY_V1"
+
+FLEET_SIZES = (1, 4, 16, 64)
+
+
+def _build(pair_count: int):
+    fleet = build_bilateral_fleet(pair_count)
+    # Size-independent latency: session-id string lengths vary with global
+    # counters, and the default bandwidth model would let that noise into
+    # the simulated timings.
+    fleet.world.transport.latency = constant_latency(1.0)
+    return fleet
+
+
+def run_fleet(pair_count: int) -> dict:
+    """One fleet size, serial then interleaved, on fresh identical worlds."""
+    serial_fleet = _build(pair_count)
+    wall_start = time.perf_counter()
+    serial_results = serial_fleet.run_serial()
+    serial_wall = time.perf_counter() - wall_start
+    serial_sim_ms = serial_fleet.world.stats.simulated_ms
+
+    interleaved_fleet = _build(pair_count)
+    report = interleaved_fleet.run_interleaved()
+
+    assert all(result.granted for result in serial_results)
+    assert report.granted == pair_count
+    makespan = report.makespan_ms or 1.0
+    return {
+        "benchmark": f"interleave_x{pair_count}",
+        "pairs": pair_count,
+        "serial_sim_ms": round(serial_sim_ms, 3),
+        "interleaved_makespan_ms": round(report.makespan_ms, 3),
+        "interleaved_span_sum_ms": round(report.serial_ms, 3),
+        "serial_wall_ms": round(serial_wall * 1000.0, 3),
+        "interleaved_wall_ms": round(report.wall_seconds * 1000.0, 3),
+        "events": report.events,
+        "max_queue_depth": report.max_queue_depth,
+        # Simulated-time utilisation: how much faster the batch finishes
+        # when negotiations overlap instead of queueing.  >= 1 by
+        # construction of an idle-free scheduler; ~= pairs when the
+        # negotiations are independent (they are, here).
+        "speedup": round(report.serial_ms / makespan, 2),
+    }
+
+
+def run_suite(quick: bool = False) -> list[dict]:
+    del quick  # simulated-clock results are deterministic; one size fits CI
+    return [run_fleet(pair_count) for pair_count in FLEET_SIZES]
+
+
+def summary_rows(rows: list[dict]) -> list[dict]:
+    return [{
+        "benchmark": row["benchmark"],
+        "pairs": row["pairs"],
+        "makespan_ms": row["interleaved_makespan_ms"],
+        "span_sum_ms": row["interleaved_span_sum_ms"],
+        "max_queue_depth": row["max_queue_depth"],
+        "speedup": row["speedup"],
+    } for row in rows]
+
+
+def test_interleaved_throughput_not_worse_than_serial():
+    """Pytest entry: equal total work must never take longer interleaved."""
+    for row in run_suite(quick=True):
+        assert row["speedup"] >= 0.99, row
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="accepted for CI symmetry; sizes are fixed")
+    parser.add_argument("--out", type=Path, default=REPORT_PATH)
+    args = parser.parse_args(argv)
+
+    rows = run_suite(quick=args.quick)
+    print(format_table(summary_rows(rows),
+                       title="E14 - interleaved negotiation throughput"))
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps({
+        "experiment": "E14",
+        "trajectory": TRAJECTORY,
+        "quick": args.quick,
+        "benchmarks": rows,
+    }, indent=2) + "\n")
+    print(f"JSON report: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ if str(HERE) not in sys.path:  # allow `python benchmarks/regress.py`
     sys.path.insert(0, str(HERE))
 
 from bench_hotpaths import REPORT_PATH, run_suite, summary_rows  # noqa: E402
+import bench_concurrency  # noqa: E402
 
 from repro.bench.reporting import format_table  # noqa: E402
 
@@ -90,6 +91,26 @@ def main(argv=None) -> int:
     rows, failures = compare(baseline, current)
 
     print(format_table(rows, title="hot-path perf regression check"))
+
+    # E14 concurrency gate: same ratio-based comparison against its own
+    # committed baseline.  The speedups are simulated-time utilisation —
+    # deterministic, so any drop below the floor is a real scheduling
+    # regression, not machine noise.
+    conc_baseline_path = bench_concurrency.REPORT_PATH
+    if conc_baseline_path.exists():
+        conc_baseline = load_baseline(conc_baseline_path)
+        conc_current = [
+            {"benchmark": row["benchmark"], "speedup": row["speedup"]}
+            for row in bench_concurrency.run_suite(quick=args.quick)
+        ]
+        conc_rows, conc_failures = compare(conc_baseline, conc_current)
+        print(format_table(conc_rows,
+                           title="concurrency (E14) regression check"))
+        rows += conc_rows
+        failures += conc_failures
+    else:
+        failures.append(f"no concurrency baseline at {conc_baseline_path}; "
+                        "run bench_concurrency.py first")
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps({
         "baseline": str(args.baseline),

@@ -137,8 +137,21 @@ def _run_negotiation(world, requester_name: str, provider_name: str,
     print("\ntranscript:", file=out)
     print(result.session.render_transcript(), file=out)
     if show_stats:
+        _print_transport_stats(out, stats)
         _print_cache_stats(out, session=result.session)
     return 0 if result.granted else 1
+
+
+def _print_transport_stats(out, stats) -> None:
+    """The ``--stats`` transport block: the full snapshot, including the
+    per-kind message/byte breakdown and the event-scheduler figures."""
+    snapshot = stats.snapshot()
+    print("\ntransport stats:", file=out)
+    for kind in sorted(snapshot["by_kind"]):
+        print(f"  {kind}: {snapshot['by_kind'][kind]} message(s), "
+              f"{snapshot['bytes_by_kind'].get(kind, 0)} bytes", file=out)
+    print(f"  events_processed: {snapshot['events_processed']}", file=out)
+    print(f"  max_queue_depth:  {snapshot['max_queue_depth']}", file=out)
 
 
 # -- subcommands -------------------------------------------------------------------

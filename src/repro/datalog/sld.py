@@ -48,6 +48,31 @@ GLOBAL_COUNTERS: Counter = Counter()
 Dispatcher = Callable[[Literal, Substitution, int], Optional[Iterator[tuple[Substitution, "ProofNode"]]]]
 
 
+class Suspension:
+    """A request to pause resolution until an external event supplies a value.
+
+    Suspendable dispatchers (the event-driven negotiation runtime) yield a
+    ``Suspension`` instead of blocking on a remote call.  Every generator in
+    the resolution stack forwards it upward unchanged — ``yield from`` does
+    so natively, and the explicit conjunction/body loops re-yield it — until
+    it reaches the driver pumping the evaluation, which performs the remote
+    exchange and resumes the generator with ``send(outcome)``.  An exception
+    instance sent back is raised at the original suspension point, so the
+    existing failure discipline applies unchanged.
+
+    ``payload`` is opaque to this module; the negotiation layer uses a
+    :class:`repro.negotiation.engine.RemoteCall`.
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: object) -> None:
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Suspension({self.payload!r})"
+
+
 @dataclass(frozen=True, slots=True)
 class ProofNode:
     """One step of a proof tree.
@@ -293,7 +318,12 @@ class SLDEngine:
             self._table_grew = False
             self._reentered = False
             self.stats.fixpoint_passes += 1
-            for result_subst, proofs in self._solve(goal_list, base, 0):
+            for item in self._solve(goal_list, base, 0):
+                if isinstance(item, Suspension):
+                    raise EvaluationError(
+                        "a Suspension escaped a synchronous query(); drive "
+                        "suspendable evaluations through iter_query() instead")
+                result_subst, proofs = item
                 key = tuple(
                     canonical_literal(goal.apply(result_subst)) for goal in goal_list
                 )
@@ -317,6 +347,54 @@ class SLDEngine:
         """True when the conjunction has at least one solution."""
         return bool(self.query(goals, max_solutions=1))
 
+    def iter_query(
+        self,
+        goals: Sequence[Literal],
+        subst: Optional[Substitution] = None,
+        max_solutions: Optional[int] = None,
+    ) -> Iterator:
+        """Suspendable counterpart of :meth:`query`.
+
+        Yields :class:`Suspension` items (forward them to the event driver
+        and ``send`` the outcome back in) interleaved with deduplicated
+        :class:`Solution` items.  Single-pass only: tabled engines need
+        fixpoint iteration, which cannot straddle suspensions, so they are
+        rejected — the negotiation contexts that drive this run untabled.
+        """
+        if self.tabled:
+            raise EvaluationError("iter_query does not support tabled engines")
+        base = subst if subst is not None else Substitution.empty()
+        goal_list = tuple(goals)
+        self._sync_tables()
+        intern_hits_before = INTERN_STATS.hits
+        self.stats.fixpoint_passes += 1
+        seen: set[tuple] = set()
+        source = self._solve(goal_list, base, 0)
+        outcome = None
+        try:
+            while True:
+                try:
+                    item = source.send(outcome)
+                except StopIteration:
+                    break
+                outcome = None
+                if isinstance(item, Suspension):
+                    outcome = yield item
+                    continue
+                result_subst, proofs = item
+                key = tuple(
+                    canonical_literal(goal.apply(result_subst)) for goal in goal_list
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Solution(result_subst, proofs)
+                if max_solutions is not None and len(seen) >= max_solutions:
+                    break
+        finally:
+            source.close()
+            self.stats.intern_hits += INTERN_STATS.hits - intern_hits_before
+
     def solve(
         self,
         goals: Sequence[Literal],
@@ -329,7 +407,12 @@ class SLDEngine:
         """
         base = subst if subst is not None else Substitution.empty()
         self._sync_tables()
-        for result_subst, proofs in self._solve(tuple(goals), base, 0):
+        for item in self._solve(tuple(goals), base, 0):
+            if isinstance(item, Suspension):
+                raise EvaluationError(
+                    "a Suspension escaped a synchronous solve(); drive "
+                    "suspendable evaluations through iter_query() instead")
+            result_subst, proofs = item
             yield Solution(result_subst, proofs)
 
     def solve_goals(
@@ -380,8 +463,33 @@ class SLDEngine:
             return
         goal, rest = goals[0], goals[1:]
 
-        for goal_subst, proof in self._solve_one(goal, subst, depth):
-            for rest_subst, rest_proofs in self._solve(rest, goal_subst, depth):
+        # Explicit pump instead of nested for-loops: Suspension items must be
+        # re-yielded upward and their resumption values sent back *into the
+        # generator that suspended*, which iteration alone cannot do.
+        source = self._solve_one(goal, subst, depth)
+        outcome = None
+        while True:
+            try:
+                item = source.send(outcome)
+            except StopIteration:
+                break
+            outcome = None
+            if isinstance(item, Suspension):
+                outcome = yield item
+                continue
+            goal_subst, proof = item
+            rest_source = self._solve(rest, goal_subst, depth)
+            rest_outcome = None
+            while True:
+                try:
+                    rest_item = rest_source.send(rest_outcome)
+                except StopIteration:
+                    break
+                rest_outcome = None
+                if isinstance(rest_item, Suspension):
+                    rest_outcome = yield rest_item
+                    continue
+                rest_subst, rest_proofs = rest_item
                 yield rest_subst, (proof,) + rest_proofs
 
     def _solve_one(
@@ -474,7 +582,18 @@ class SLDEngine:
                     self._record_answer(table, goal, answer_subst, proof)
                     yield answer_subst, proof
                     continue
-                for body_subst, body_proofs in self._solve(renamed.body, head_subst, depth + 1):
+                body_source = self._solve(renamed.body, head_subst, depth + 1)
+                body_outcome = None
+                while True:
+                    try:
+                        body_item = body_source.send(body_outcome)
+                    except StopIteration:
+                        break
+                    body_outcome = None
+                    if isinstance(body_item, Suspension):
+                        body_outcome = yield body_item
+                        continue
+                    body_subst, body_proofs = body_item
                     proof = ProofNode(goal.apply(body_subst), "rule", rule=rule,
                                       children=body_proofs)
                     # Record for table consumers, but always yield: a
@@ -538,8 +657,21 @@ class SLDEngine:
         if not positive.is_ground():
             raise BuiltinError(
                 f"negation floundered: 'not {positive}' is not ground at call time")
-        for _ in self._solve((positive,), subst, depth + 1):
-            return  # one success refutes the negation
+        source = self._solve((positive,), subst, depth + 1)
+        outcome = None
+        try:
+            while True:
+                try:
+                    item = source.send(outcome)
+                except StopIteration:
+                    break
+                outcome = None
+                if isinstance(item, Suspension):
+                    outcome = yield item
+                    continue
+                return  # one success refutes the negation
+        finally:
+            source.close()
         yield subst, ProofNode(goal.apply(subst), "negation")
 
     # -- maintenance -------------------------------------------------------------

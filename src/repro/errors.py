@@ -114,6 +114,14 @@ class UnknownPeerError(NetworkError):
     """Raised when a message is addressed to a peer that is not registered."""
 
 
+class ProtocolError(NetworkError):
+    """Raised when a message violates the negotiation protocol's state
+    machine — e.g. an :class:`repro.net.message.AnswerMessage` arriving for
+    a query that has no pending continuation (unknown id, or one that was
+    already resumed).  Deterministic and non-retryable: it indicates a
+    forged, stale, or misrouted reply, never network weather."""
+
+
 class MessageTooLargeError(NetworkError):
     """Raised when a message exceeds the transport's configured size limit.
     Deterministic — the same message is oversized every time — so it is

@@ -36,6 +36,7 @@ from repro.datalog.sld import (
     ProofNode,
     SLDEngine,
     Solution,
+    Suspension,
     canonical_literal,
     unify_literals,
 )
@@ -43,6 +44,7 @@ from repro.datalog.substitution import Substitution
 from repro.datalog.terms import Constant, Variable
 from repro.errors import (
     CredentialError,
+    EvaluationError,
     KeyError_,
     MessageTooLargeError,
     SignatureError,
@@ -56,6 +58,37 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.negotiation.peer import Peer
 
 _EMPTY_KB = KnowledgeBase()
+
+
+class RemoteCall:
+    """Payload of a :class:`repro.datalog.sld.Suspension` raised by a
+    suspendable evaluation: the prepared query, ready for transmission.
+    The event driver must resume the suspended generator with either the
+    reply message or an exception instance (raised at the call site, so the
+    normal failure discipline of ``_remote_solutions`` applies)."""
+
+    __slots__ = ("message", "session")
+
+    def __init__(self, message: QueryMessage, session: Session) -> None:
+        self.message = message
+        self.session = session
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RemoteCall({self.message.sender!r}->"
+                f"{self.message.receiver!r}, {self.message.goal})")
+
+
+def drain_steps(steps):
+    """Run a step generator to completion synchronously and return its
+    result.  Step generators parameterised with ``suspendable=False`` never
+    yield — every remote call runs inline — so anything surfacing here is a
+    programming error, not network weather."""
+    try:
+        item = steps.send(None)
+    except StopIteration as stop:
+        return stop.value
+    raise EvaluationError(
+        f"synchronous evaluation suspended unexpectedly on {item!r}")
 
 
 class EvalContext:
@@ -94,6 +127,7 @@ class EvalContext:
         allow_remote: bool = True,
         drop_peers: frozenset[str] = frozenset(),
         max_depth: Optional[int] = None,
+        suspendable: bool = False,
     ) -> None:
         self.peer = peer
         self.session = session
@@ -101,6 +135,10 @@ class EvalContext:
         self.stores = list(stores)
         self.allow_remote = allow_remote
         self.drop_peers = drop_peers
+        # Suspendable contexts yield a Suspension(RemoteCall) instead of
+        # calling transport.request inline; the event-driven runtime resumes
+        # them when the answer event is delivered.
+        self.suspendable = suspendable
         self.engine = SLDEngine(
             kb if kb is not None else _EMPTY_KB,
             builtins=peer.builtins,
@@ -124,6 +162,37 @@ class EvalContext:
         ]
         solutions = self.engine.query(bound, max_solutions=1)
         return solutions[0] if solutions else None
+
+    def iter_query_goal(self, goal: Literal, max_solutions: Optional[int] = None):
+        """Suspendable counterpart of :meth:`query_goal`: a generator of
+        :class:`Suspension` and :class:`Solution` items (see
+        :meth:`repro.datalog.sld.SLDEngine.iter_query`)."""
+        bound = bind_pseudovars_in_literal(goal, self.requester, self.peer.name)
+        return self.engine.iter_query([bound], max_solutions=max_solutions)
+
+    def prove_steps(self, goals: Sequence[Literal]):
+        """Suspendable counterpart of :meth:`prove`: a step generator whose
+        return value is the first solution of the conjunction, or ``None``."""
+        bound = [
+            bind_pseudovars_in_literal(g, self.requester, self.peer.name)
+            for g in goals
+        ]
+        source = self.engine.iter_query(bound, max_solutions=1)
+        found: Optional[Solution] = None
+        outcome = None
+        while True:
+            try:
+                item = source.send(outcome)
+            except StopIteration:
+                break
+            outcome = None
+            if isinstance(item, Suspension):
+                outcome = yield item
+                continue
+            found = item
+            source.close()
+            break
+        return found
 
     def derive_evidence(self, goal: Literal) -> Optional[ProofNode]:
         """Evidence-mode entry: one proof of ``goal``, or ``None``."""
@@ -171,7 +240,18 @@ class EvalContext:
         reduced = resolved.drop_outer_authority()
 
         if target == self.peer.name or target in self.drop_peers:
-            for result_subst, proofs in self.engine.solve_goals((reduced,), subst, depth + 1):
+            source = self.engine.solve_goals((reduced,), subst, depth + 1)
+            outcome = None
+            while True:
+                try:
+                    item = source.send(outcome)
+                except StopIteration:
+                    break
+                outcome = None
+                if isinstance(item, Suspension):
+                    outcome = yield item
+                    continue
+                result_subst, proofs = item
                 yield result_subst, ProofNode(
                     resolved.apply(result_subst), "authority-drop",
                     peer=target, children=proofs)
@@ -257,8 +337,18 @@ class EvalContext:
             yield head_subst, ProofNode(goal.apply(head_subst), "credential",
                                         rule=credential.rule, credential=credential)
             return
-        for body_subst, body_proofs in self.engine.solve_goals(
-                renamed.body, head_subst, depth + 1):
+        source = self.engine.solve_goals(renamed.body, head_subst, depth + 1)
+        outcome = None
+        while True:
+            try:
+                item = source.send(outcome)
+            except StopIteration:
+                break
+            outcome = None
+            if isinstance(item, Suspension):
+                outcome = yield item
+                continue
+            body_subst, body_proofs = item
             yield body_subst, ProofNode(goal.apply(body_subst), "credential",
                                         rule=credential.rule,
                                         children=body_proofs,
@@ -275,12 +365,8 @@ class EvalContext:
         target: str,
         depth: int,
     ) -> Iterator[tuple[Substitution, ProofNode]]:
-        transport = getattr(self.peer, "transport", None)
-        if transport is None or not transport.registry.knows(target):
-            self.session.counters["unknown_targets"] += 1
-            return
-        if not self.session.nesting_available():
-            self.session.counters["nesting_exhausted"] += 1
+        request = self._issue_remote(reduced, target, depth)
+        if request is None:
             return
         goal_key = canonical_literal(reduced)
         if not self.session.enter_remote(self.peer.name, target, goal_key):
@@ -294,13 +380,16 @@ class EvalContext:
         try:
             self.session.log("query", self.peer.name, target, str(reduced))
             try:
-                reply = transport.request(QueryMessage(
-                    sender=self.peer.name,
-                    receiver=target,
-                    session_id=self.session.id,
-                    goal=reduced,
-                    depth=depth,
-                ))
+                if self.suspendable:
+                    # Event-driven mode: park this evaluation as a pending
+                    # continuation; the scheduler resumes it with the reply
+                    # (or with the exception the inline path would have seen).
+                    outcome = yield Suspension(RemoteCall(request, self.session))
+                    if isinstance(outcome, BaseException):
+                        raise outcome
+                    reply = outcome
+                else:
+                    reply = self.peer.transport.request(request)
             except TransientNetworkError as error:
                 self.session.counters["network_failures"] += 1
                 self.session.log("gave-up", self.peer.name, target, str(error))
@@ -320,6 +409,42 @@ class EvalContext:
         finally:
             self.session.exit_remote(self.peer.name, target, goal_key)
 
+        yield from self._absorb_reply(goal, reduced, subst, target, reply)
+
+    def _issue_remote(
+        self,
+        reduced: Literal,
+        target: str,
+        depth: int,
+    ) -> Optional[QueryMessage]:
+        """Issue half of a remote evaluation: routing/nesting admission
+        checks plus the prepared query message, or ``None`` when the call
+        must not be made."""
+        transport = getattr(self.peer, "transport", None)
+        if transport is None or not transport.registry.knows(target):
+            self.session.counters["unknown_targets"] += 1
+            return None
+        if not self.session.nesting_available():
+            self.session.counters["nesting_exhausted"] += 1
+            return None
+        return QueryMessage(
+            sender=self.peer.name,
+            receiver=target,
+            session_id=self.session.id,
+            goal=reduced,
+            depth=depth,
+        )
+
+    def _absorb_reply(
+        self,
+        goal: Literal,
+        reduced: Literal,
+        subst: Substitution,
+        target: str,
+        reply,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
+        """Absorb half of a remote evaluation: verify and graft each answer
+        item (pure computation — never suspends)."""
         items = getattr(reply, "items", ())
         if not items:
             self.session.log("failure", target, self.peer.name, str(reduced))

@@ -59,9 +59,9 @@ from repro.net.message import (
     PolicyRequestMessage,
     QueryMessage,
 )
-from repro.datalog.sld import unify_literals
+from repro.datalog.sld import Suspension, unify_literals
 from repro.datalog.substitution import Substitution
-from repro.negotiation.engine import EvalContext
+from repro.negotiation.engine import EvalContext, drain_steps
 from repro.negotiation.session import Session
 from repro.policy.pseudovars import bind_pseudovars, bind_pseudovars_in_literal
 from repro.policy.release import (
@@ -211,6 +211,14 @@ class Peer:
             session_id, initiator, self.max_nesting)
 
     def _handle_query(self, message: QueryMessage) -> AnswerMessage:
+        return drain_steps(self.answer_query_steps(message, suspendable=False))
+
+    def answer_query_steps(self, message: QueryMessage, suspendable: bool = False):
+        """Answer a query as a *step generator*: with ``suspendable=True``
+        every remote sub-query yields a :class:`Suspension` for the event
+        scheduler to satisfy; with ``suspendable=False`` the same code runs
+        remote calls inline and never yields.  The generator's return value
+        is the :class:`AnswerMessage`."""
         session = self._session(message.session_id, message.sender)
         requester = message.sender
         failure = AnswerMessage(
@@ -236,11 +244,24 @@ class Peer:
                 kb=self.kb,
                 stores=[self.credentials, session.received_for(self.name)],
                 allow_remote=True,
+                suspendable=suspendable,
             )
             # A ground goal is a yes/no question: one proof settles it.
             # Open goals enumerate up to max_answers distinct solutions.
             limit = 1 if message.goal.is_ground() else self.max_answers
-            solutions = context.query_goal(message.goal, max_solutions=limit)
+            solutions: list[Solution] = []
+            source = context.iter_query_goal(message.goal, max_solutions=limit)
+            outcome = None
+            while True:
+                try:
+                    item = source.send(outcome)
+                except StopIteration:
+                    break
+                outcome = None
+                if isinstance(item, Suspension):
+                    outcome = yield item
+                    continue
+                solutions.append(item)
         except TransientNetworkError as error:
             # Graceful degradation: a provider that cannot reach a third
             # party answers "no" for this query rather than propagating the
@@ -255,7 +276,8 @@ class Peer:
         items: list[AnswerItem] = []
         answered_keys: set[tuple] = set()
         for solution in solutions:
-            item = self._build_answer_item(message.goal, solution, requester, session)
+            item = yield from self._build_answer_item_steps(
+                message.goal, solution, requester, session, suspendable)
             if item is not None:
                 items.append(item)
                 if item.answered_literal is not None:
@@ -264,7 +286,9 @@ class Peer:
         # Resource-access policies: a predicate may be governed *only* by a
         # `$` rule (the paper's freeEnroll, §3.1) — access is granted when
         # the guard and body are provable, with no separate content rule.
-        for item in self._release_policy_grants(message.goal, requester, session):
+        grants = yield from self._release_policy_grants_steps(
+            message.goal, requester, session, True, suspendable)
+        for item in grants:
             key = (canonical_literal(item.answered_literal)
                    if item.answered_literal is not None else None)
             if key in answered_keys:
@@ -295,16 +319,22 @@ class Peer:
             session_id=session.id, query_id=message.message_id,
             items=tuple(items))
 
-    def _build_answer_item(
+    def _build_answer_item_steps(
         self,
         goal: Literal,
         solution: Solution,
         requester: str,
         session: Session,
-    ) -> Optional[AnswerItem]:
+        suspendable: bool = False,
+    ):
+        """Step-generator form of answer-item construction; release and
+        sticky obligations may trigger (suspendable) counter-queries.
+        Returns the :class:`AnswerItem`, or ``None`` when withheld."""
         answered = goal.apply(solution.subst)
 
-        if not self._answer_releasable(answered, solution, requester, session):
+        allowed = yield from self._answer_releasable_steps(
+            answered, solution, requester, session, suspendable)
+        if not allowed:
             session.log("release-denied", self.name, requester, str(answered))
             return None
 
@@ -323,7 +353,9 @@ class Peer:
 
                 obligations = bind_pseudovars_in_goals(
                     inherited_guard, requester, self.name)
-                if not self._prove_obligations(obligations, requester, session):
+                proved = yield from self._prove_obligations_steps(
+                    obligations, requester, session, suspendable)
+                if not proved:
                     session.log("sticky-denied", self.name, requester,
                                 str(answered))
                     return None
@@ -340,14 +372,17 @@ class Peer:
                 if self.sticky_policies and credential.sticky_guard is not None:
                     obligations = sticky_obligations(
                         credential, requester, self.name)
-                    if not self._prove_obligations(
-                            obligations or (), requester, session):
+                    proved = yield from self._prove_obligations_steps(
+                        obligations or (), requester, session, suspendable)
+                    if not proved:
                         session.log("sticky-denied", self.name, requester,
                                     f"credential {credential.rule.head}")
                         continue
                 disclosed.append(credential)
                 continue
-            if not self._credential_releasable(credential, requester, session):
+            releasable = yield from self._credential_releasable_steps(
+                credential, requester, session, suspendable)
+            if not releasable:
                 # Disclose-what-you-may: the answer still goes out (it passed
                 # its own release check); the withheld credential just makes
                 # the answer uncertifiable, and the asker decides whether to
@@ -392,10 +427,22 @@ class Peer:
         session: Session,
         allow_remote: bool = True,
     ) -> list[AnswerItem]:
+        return drain_steps(self._release_policy_grants_steps(
+            goal, requester, session, allow_remote, suspendable=False))
+
+    def _release_policy_grants_steps(
+        self,
+        goal: Literal,
+        requester: str,
+        session: Session,
+        allow_remote: bool = True,
+        suspendable: bool = False,
+    ):
         """Grant access through a pure ``$`` resource policy: prove the
         guard and body with Requester bound, and answer with the resulting
         bindings (no supporting disclosure — the obligations were proved on
-        our side, often *from* the requester's disclosures)."""
+        our side, often *from* the requester's disclosures).  Step-generator
+        returning the list of :class:`AnswerItem` grants."""
         items: list[AnswerItem] = []
         bound_goal = bind_pseudovars_in_literal(goal, requester, self.name)
         for policy in self.kb.release_policies_for(bound_goal):
@@ -413,10 +460,23 @@ class Peer:
                 stores=[self.credentials, session.received_for(self.name)],
                 allow_remote=allow_remote,
                 drop_peers=frozenset() if allow_remote else frozenset({requester}),
+                suspendable=suspendable,
             )
             session.counters["release_checks"] += 1
-            solutions = context.engine.query(
+            solutions: list[Solution] = []
+            source = context.engine.iter_query(
                 obligations, subst=subst, max_solutions=self.max_answers)
+            outcome = None
+            while True:
+                try:
+                    step = source.send(outcome)
+                except StopIteration:
+                    break
+                outcome = None
+                if isinstance(step, Suspension):
+                    outcome = yield step
+                    continue
+                solutions.append(step)
             for solution in solutions:
                 answered = bound_goal.apply(solution.subst)
                 # Sticky propagation also applies to $-policy grants: a
@@ -432,8 +492,9 @@ class Peer:
 
                         sticky_goals = bind_pseudovars_in_goals(
                             inherited, requester, self.name)
-                        if not self._prove_obligations(
-                                sticky_goals, requester, session):
+                        proved = yield from self._prove_obligations_steps(
+                            sticky_goals, requester, session, suspendable)
+                        if not proved:
                             session.log("sticky-denied", self.name, requester,
                                         str(answered))
                             continue
@@ -482,6 +543,16 @@ class Peer:
         requester: str,
         session: Session,
     ) -> bool:
+        return drain_steps(self._prove_obligations_steps(
+            goals, requester, session, suspendable=False))
+
+    def _prove_obligations_steps(
+        self,
+        goals: tuple[Literal, ...],
+        requester: str,
+        session: Session,
+        suspendable: bool = False,
+    ):
         if not goals:
             return True
         context = EvalContext(
@@ -491,9 +562,11 @@ class Peer:
             kb=self.kb,
             stores=[self.credentials, session.received_for(self.name)],
             allow_remote=True,
+            suspendable=suspendable,
         )
         session.counters["release_checks"] += 1
-        return context.prove(goals) is not None
+        solution = yield from context.prove_steps(goals)
+        return solution is not None
 
     def _answer_releasable(
         self,
@@ -502,6 +575,17 @@ class Peer:
         requester: str,
         session: Session,
     ) -> bool:
+        return drain_steps(self._answer_releasable_steps(
+            answered, solution, requester, session, suspendable=False))
+
+    def _answer_releasable_steps(
+        self,
+        answered: Literal,
+        solution: Solution,
+        requester: str,
+        session: Session,
+        suspendable: bool = False,
+    ):
         if requester == self.name:
             return True
         cache_key = ("answer", self.name, requester, canonical_literal(answered))
@@ -518,7 +602,9 @@ class Peer:
         allowed = False
         for candidate in candidates:
             for decision in release_obligations(self.kb, candidate, requester, self.name):
-                if self._prove_obligations(decision.goals, requester, session):
+                proved = yield from self._prove_obligations_steps(
+                    decision.goals, requester, session, suspendable)
+                if proved:
                     allowed = True
                     break
             if allowed:
@@ -528,13 +614,15 @@ class Peer:
             if top.kind == "credential" and isinstance(top.credential, Credential):
                 # An answer whose proof is a single credential reveals no
                 # more than the credential itself: its release policy governs.
-                allowed = self._credential_releasable(top.credential, requester, session)
+                allowed = yield from self._credential_releasable_steps(
+                    top.credential, requester, session, suspendable)
             elif top.rule is not None:
                 # Fall back to the rule context of the top-level clause used:
                 # conclusions of a public rule (<-{true}) are shareable.
                 obligations = rule_shipping_obligations(top.rule, requester, self.name)
                 if obligations is not None:
-                    allowed = self._prove_obligations(obligations, requester, session)
+                    allowed = yield from self._prove_obligations_steps(
+                        obligations, requester, session, suspendable)
         session.cache_release(cache_key, allowed)
         return allowed
 
@@ -544,6 +632,16 @@ class Peer:
         requester: str,
         session: Session,
     ) -> bool:
+        return drain_steps(self._credential_releasable_steps(
+            credential, requester, session, suspendable=False))
+
+    def _credential_releasable_steps(
+        self,
+        credential: Credential,
+        requester: str,
+        session: Session,
+        suspendable: bool = False,
+    ):
         if requester == self.name:
             return True
         cache_key = ("credential", self.name, requester, credential.serial)
@@ -553,7 +651,9 @@ class Peer:
         allowed = False
         for decision in credential_release_decisions(
                 self.kb, credential, requester, self.name):
-            if self._prove_obligations(decision.goals, requester, session):
+            proved = yield from self._prove_obligations_steps(
+                decision.goals, requester, session, suspendable)
+            if proved:
                 allowed = True
                 break
         session.cache_release(cache_key, allowed)

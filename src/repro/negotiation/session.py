@@ -24,7 +24,7 @@ from __future__ import annotations
 import itertools
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.credentials.store import CredentialStore
 
@@ -186,10 +186,22 @@ class Session:
 
 class SessionTable:
     """Transport-wide registry so both peers of an in-process negotiation
-    share one :class:`Session` object."""
+    share one :class:`Session` object.
 
-    def __init__(self) -> None:
+    ``capacity`` bounds the number of live sessions: creating one beyond it
+    evicts the oldest (insertion order — sessions finish roughly in the
+    order they start).  ``on_evict`` is invoked with the session id whenever
+    a session leaves the table, by eviction *or* :meth:`forget`, so owners
+    of per-session caches (the transport's reply / oneway dedup caches, a
+    scheduler's continuation tables) can drop their entries and long-running
+    workloads stay bounded."""
+
+    def __init__(self, capacity: Optional[int] = None,
+                 on_evict: Optional[Callable[[str], None]] = None) -> None:
         self._sessions: dict[str, Session] = {}
+        self.capacity = capacity
+        self.on_evict = on_evict
+        self.evictions = 0
 
     def get_or_create(self, session_id: str, initiator: str,
                       max_nesting: int = 30) -> Session:
@@ -197,13 +209,22 @@ class SessionTable:
         if session is None:
             session = self._sessions[session_id] = Session(
                 session_id, initiator, max_nesting)
+            if self.capacity is not None:
+                while len(self._sessions) > self.capacity:
+                    oldest = next(iter(self._sessions))
+                    self._sessions.pop(oldest)
+                    self.evictions += 1
+                    if self.on_evict is not None:
+                        self.on_evict(oldest)
         return session
 
     def get(self, session_id: str) -> Optional[Session]:
         return self._sessions.get(session_id)
 
     def forget(self, session_id: str) -> None:
-        self._sessions.pop(session_id, None)
+        if self._sessions.pop(session_id, None) is not None:
+            if self.on_evict is not None:
+                self.on_evict(session_id)
 
     def __len__(self) -> int:
         return len(self._sessions)

@@ -115,59 +115,15 @@ def parsimonious_negotiate(
     deadline_ms: Optional[float] = None,
 ) -> NegotiationResult:
     """Send the goal to the provider and let release policies drive the
-    bilateral exchange."""
-    transport = requester.transport
-    if transport is None:
-        raise RuntimeError(f"peer {requester.name!r} is not attached to a transport")
-    session = transport.sessions.get_or_create(
-        next_session_id(), requester.name, requester.max_nesting)
-    _arm_deadline(session, transport, requester, deadline_ms)
-    session.log("initiate", requester.name, provider_name, str(goal))
+    bilateral exchange.  Since the event-driven runtime landed this is a
+    facade: the negotiation runs on the transport's event scheduler (remote
+    sub-queries suspend and resume as events) and the loop is pumped to
+    quiescence before returning — observable behaviour, message traffic, and
+    simulated-clock totals are identical to the old inline recursion."""
+    from repro.runtime import run_negotiation
 
-    result = NegotiationResult(
-        granted=False, goal=goal, provider=provider_name,
-        requester=requester.name, session=session)
-    try:
-        try:
-            reply = transport.request(QueryMessage(
-                sender=requester.name,
-                receiver=provider_name,
-                session_id=session.id,
-                goal=goal,
-            ))
-        except UnknownPeerError:
-            raise  # an addressing bug in the caller, not network weather
-        except (NetworkError, SignatureError) as error:
-            _record_network_failure(result, session, error)
-            return result
-
-        items = getattr(reply, "items", ())
-        if not items:
-            result.failure_kind = "denied"
-            result.failure_reason = "provider denied or could not derive the goal"
-            return result
-
-        overlay = session.received_for(requester.name)
-        for item in items:
-            for credential in item.credentials:
-                try:
-                    requester.hold_received(credential, session)
-                except Exception:  # noqa: BLE001 - recorded, not fatal per-item
-                    session.counters["bad_credentials"] += 1
-                    continue
-            if item.answered_literal is not None:
-                bindings = dict(item.bindings)
-                result.answers.append((item.answered_literal, bindings))
-        result.credentials_received = list(overlay.credentials())
-        result.granted = bool(result.answers)
-        if not result.granted:
-            result.failure_kind = "denied"
-            result.failure_reason = "answers could not be validated"
-        else:
-            session.log("granted", provider_name, requester.name, str(goal))
-        return result
-    finally:
-        _finish_session(transport, session)
+    return run_negotiation(requester, provider_name, goal,
+                           deadline_ms=deadline_ms)
 
 
 # ---------------------------------------------------------------------------

@@ -94,6 +94,19 @@ class RetryPolicy:
         return delay + (rng.random() * self.jitter_ms if self.jitter_ms else 0.0)
 
 
+@dataclass(frozen=True, slots=True)
+class TransmissionOutcome:
+    """Result of :meth:`Transport.begin_transmission`: the fault decision,
+    the transmission's total simulated delay (injected delay + link
+    latency), and the delivery error, if the message was lost in transit.
+    The event scheduler turns ``delay_ms`` into the due-time of the delivery
+    (or retry) event instead of advancing the clock inline."""
+
+    decision: Optional[FaultDecision]
+    delay_ms: float
+    error: Optional[NetworkError] = None
+
+
 @dataclass
 class TransportStats:
     """Cumulative transport accounting."""
@@ -105,13 +118,18 @@ class TransportStats:
     dropped: int = 0
     duplicates_suppressed: int = 0
     by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
     by_link: dict[tuple[str, str], int] = field(default_factory=lambda: defaultdict(int))
+    # Event-scheduler accounting (zero under the inline synchronous path).
+    max_queue_depth: int = 0
+    events_processed: int = 0
 
     def record(self, message: Message, size: int, latency: float) -> None:
         self.messages += 1
         self.bytes += size
         self.simulated_ms += latency
         self.by_kind[message.kind] += 1
+        self.bytes_by_kind[message.kind] += size
         self.by_link[(message.sender, message.receiver)] += 1
 
     def snapshot(self) -> dict:
@@ -121,7 +139,11 @@ class TransportStats:
             "simulated_ms": round(self.simulated_ms, 3),
             "retries": self.retries,
             "dropped": self.dropped,
+            "duplicates_suppressed": self.duplicates_suppressed,
             "by_kind": dict(self.by_kind),
+            "bytes_by_kind": dict(self.bytes_by_kind),
+            "max_queue_depth": self.max_queue_depth,
+            "events_processed": self.events_processed,
         }
 
 
@@ -143,6 +165,7 @@ class Transport:
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         retain_sessions: bool = False,
+        max_sessions: Optional[int] = None,
     ) -> None:
         self.registry = registry if registry is not None else PeerRegistry()
         self.latency = latency if latency is not None else bandwidth_latency()
@@ -159,11 +182,17 @@ class Transport:
         # session_id -> idempotency key -> cached reply / delivered marker.
         self._reply_cache: dict[str, dict[tuple, Message]] = {}
         self._delivered_oneway: dict[str, set[tuple]] = {}
+        # Lazily attached repro.runtime.EventScheduler (one per transport).
+        self.scheduler = None
         # Shared negotiation-session table (import here to keep net/ free of
-        # a hard dependency direction at module-import time).
+        # a hard dependency direction at module-import time).  Eviction —
+        # whether by the ``max_sessions`` capacity bound or by
+        # :meth:`release_session` — drops the session's dedup caches too,
+        # so long-running workloads cannot leak per-session state.
         from repro.negotiation.session import SessionTable
 
-        self.sessions = SessionTable()
+        self.sessions = SessionTable(
+            capacity=max_sessions, on_evict=self._on_session_evicted)
 
     # -- registration passthrough -------------------------------------------------
 
@@ -229,6 +258,45 @@ class Transport:
                 f"{message.kind} from {message.sender!r} to "
                 f"{message.receiver!r} was dropped")
         return decision
+
+    def begin_transmission(self, message: Message) -> "TransmissionOutcome":
+        """Event-mode counterpart of :meth:`_transmit`: perform the same
+        accounting and fault evaluation, but report the transmission's total
+        delay instead of advancing ``now_ms`` — the scheduler charges time by
+        dispatching the delivery event at ``now_ms + delay_ms``.  Losses are
+        *returned* (as ``outcome.error``) rather than raised so the caller
+        can schedule the retry/backoff as a future event; only the size
+        check — which precedes all accounting inline too — still raises."""
+        size = message.wire_size()
+        if self.max_message_bytes is not None and size > self.max_message_bytes:
+            raise MessageTooLargeError(
+                f"{message.kind} of {size} bytes exceeds limit "
+                f"{self.max_message_bytes}")
+        if not self.registry.is_up(message.receiver):
+            self.stats.dropped += 1
+            return TransmissionOutcome(None, 0.0, PeerUnavailableError(
+                f"peer {message.receiver!r} is down"))
+        decision = (self.faults.decide(message, self.now_ms)
+                    if self.faults is not None else None)
+        delay = 0.0
+        if decision is not None and decision.extra_delay_ms:
+            self.stats.simulated_ms += decision.extra_delay_ms
+            delay += decision.extra_delay_ms
+        latency = self.latency(message.sender, message.receiver, size)
+        self.stats.record(message, size, latency)
+        delay += latency
+        if decision is not None and decision.crashed:
+            self.stats.dropped += 1
+            return TransmissionOutcome(decision, delay, PeerUnavailableError(
+                f"{message.kind} lost: a crash window covers the "
+                f"{message.sender!r}->{message.receiver!r} link"))
+        if (decision is not None and decision.drop) or (
+                self.drop is not None and self.drop(message)):
+            self.stats.dropped += 1
+            return TransmissionOutcome(decision, delay, TransientNetworkError(
+                f"{message.kind} from {message.sender!r} to "
+                f"{message.receiver!r} was dropped"))
+        return TransmissionOutcome(decision, delay, None)
 
     def _apply_corruption(self, message: Message) -> Message:
         """Model in-transit payload damage: tamper a carried credential (the
@@ -344,13 +412,22 @@ class Transport:
 
     # -- session lifecycle --------------------------------------------------------------
 
+    def _on_session_evicted(self, session_id: str) -> None:
+        """SessionTable eviction hook: a session leaving the table takes its
+        dedup caches and any pending scheduler state with it."""
+        self._reply_cache.pop(session_id, None)
+        self._delivered_oneway.pop(session_id, None)
+        if self.scheduler is not None:
+            self.scheduler.purge_session(session_id)
+
     def release_session(self, session_id: str) -> None:
         """Negotiation finished: evict the session's reply cache and (unless
         ``retain_sessions`` opts into post-hoc inspection via the table) the
         session itself.  Results keep their own reference to the Session
         object, so transcripts stay readable after eviction."""
-        self._reply_cache.pop(session_id, None)
-        self._delivered_oneway.pop(session_id, None)
+        # Purge unconditionally (the hook is idempotent): dedup caches exist
+        # even for sessions that never entered the table.
+        self._on_session_evicted(session_id)
         if not self.retain_sessions:
             self.sessions.forget(session_id)
 

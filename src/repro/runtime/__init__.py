@@ -1,0 +1,34 @@
+"""Event-driven negotiation runtime.
+
+The discrete-event scheduler (:mod:`repro.runtime.scheduler`) replaces the
+transport's call-stack-recursive RPC with suspendable goal evaluation:
+remote sub-queries park the enclosing proof as an explicit continuation and
+resume when the answer event is delivered.  The drivers
+(:mod:`repro.runtime.negotiation`) expose a synchronous facade
+(:func:`run_negotiation`) that replays the inline path byte-for-byte, plus
+:func:`run_many` for deterministic interleaving of whole batches.
+"""
+
+from repro.runtime.negotiation import (
+    ConcurrencyReport,
+    NegotiationSpec,
+    run_many,
+    run_negotiation,
+)
+from repro.runtime.scheduler import (
+    EvaluationTask,
+    EventScheduler,
+    RequestExchange,
+    scheduler_for,
+)
+
+__all__ = [
+    "ConcurrencyReport",
+    "EvaluationTask",
+    "EventScheduler",
+    "NegotiationSpec",
+    "RequestExchange",
+    "run_many",
+    "run_negotiation",
+    "scheduler_for",
+]

@@ -1,0 +1,404 @@
+"""Discrete-event scheduler with suspendable goal evaluation.
+
+The inline transport runs a negotiation as call-stack recursion:
+``Transport._dispatch_request`` invokes ``peer.handle()`` inline, which
+re-enters the transport for counter-queries, so exactly one negotiation can
+be in flight and the simulated clock serialises everything.  This module
+replaces that with an explicit event loop (GEM-style distributed goal
+evaluation as a message/state machine):
+
+- :class:`EventScheduler` owns a heap of ``(due_ms, seq, label, action)``
+  events ordered by **simulated** time.  Popping an event advances the
+  transport's clock to its due time; the computation between events is free,
+  exactly as the inline path charges latency/backoff but not CPU.
+- :class:`RequestExchange` is one request/reply RPC unrolled into events:
+  transmission, delivery, handler evaluation, reply transmission, retries
+  with backoff — each a scheduled event rather than a blocking loop.  It
+  reproduces the inline ``Transport.request`` semantics *exactly* (same
+  fault-plan RNG draws in the same order, same stats, same clock totals) so
+  the synchronous facade replays byte-identical negotiations.
+- :class:`EvaluationTask` drives a peer's suspendable
+  ``answer_query_steps`` generator: every :class:`~repro.datalog.sld.Suspension`
+  it yields parks the evaluation as a pending continuation
+  (:attr:`EventScheduler._pending`, keyed by the sub-query's message id)
+  and a nested :class:`RequestExchange` resumes it when the answer event
+  arrives — ``gen.send(reply)`` for success, ``gen.send(exception)``
+  (re-raised at the suspension point) for failure, so the engine's
+  existing error discipline applies unchanged.
+
+An :class:`~repro.net.message.AnswerMessage` whose ``query_id`` matches no
+pending continuation — or one already resumed — raises
+:class:`repro.errors.ProtocolError`: a forged, stale, or misrouted reply
+must never be silently dropped or crash with a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.datalog.sld import Suspension
+from repro.errors import (
+    DeadlineExceeded,
+    MessageTooLargeError,
+    NetworkError,
+    ProtocolError,
+    SignatureError,
+    TransientNetworkError,
+    UnknownPeerError,
+)
+from repro.net.message import AnswerMessage, Message, QueryMessage
+
+
+class EventScheduler:
+    """One event loop per transport, ordered by the transport's simulated
+    clock.  Attach lazily with :func:`scheduler_for`."""
+
+    def __init__(self, transport) -> None:
+        self.transport = transport
+        self._events: list[tuple[float, int, str, Callable[[], None]]] = []
+        self._seq = itertools.count(1)
+        # message_id of an in-flight request -> its RequestExchange; this is
+        # the continuation table: an AnswerMessage resumes the exchange whose
+        # request it answers.
+        self._pending: dict[int, "RequestExchange"] = {}
+        # Deterministic trace labels: global message/session counters differ
+        # across processes, so labels use small per-run aliases instead.
+        self._msg_alias: dict[int, int] = {}
+        self._session_alias: dict[str, int] = {}
+        self.trace: list[str] = []
+
+    # -- deterministic labels -----------------------------------------------------
+
+    def _alias(self, message: Message) -> str:
+        alias = self._msg_alias.setdefault(message.message_id,
+                                           len(self._msg_alias) + 1)
+        salias = self._session_alias.setdefault(message.session_id,
+                                                len(self._session_alias) + 1)
+        return (f"{message.kind} m{alias} s{salias} "
+                f"{message.sender}->{message.receiver}")
+
+    # -- run lifecycle ------------------------------------------------------------
+
+    def begin_run(self) -> None:
+        """Start a fresh traced run: clear the trace and alias maps (the
+        event heap and continuation table are expected to be empty — a
+        previous run always pumps to quiescence)."""
+        self.trace.clear()
+        self._msg_alias.clear()
+        self._session_alias.clear()
+
+    def purge_session(self, session_id: str) -> None:
+        """Session evicted: orphan its pending continuations so a late
+        answer raises :class:`ProtocolError` instead of resuming into a
+        dead negotiation."""
+        for message_id in [mid for mid, exchange in self._pending.items()
+                           if exchange.message.session_id == session_id]:
+            self._pending.pop(message_id, None)
+
+    # -- the event loop -----------------------------------------------------------
+
+    def schedule(self, delay_ms: float, label: str,
+                 action: Callable[[], None]) -> None:
+        due = self.transport.now_ms + delay_ms
+        heapq.heappush(self._events, (due, next(self._seq), label, action))
+        depth = len(self._events)
+        if depth > self.transport.stats.max_queue_depth:
+            self.transport.stats.max_queue_depth = depth
+
+    def run_until_idle(self, max_events: int = 2_000_000) -> int:
+        """Pump events in due-time order until the heap drains.  Returns the
+        number of events processed.  Actions run with the clock set to their
+        due time; exceptions propagate (they indicate protocol violations or
+        driver bugs, never modelled network weather — that travels through
+        continuations as values)."""
+        processed = 0
+        while self._events:
+            due, _seq, label, action = heapq.heappop(self._events)
+            if due > self.transport.now_ms:
+                self.transport.now_ms = due
+            self.transport.stats.events_processed += 1
+            processed += 1
+            self.trace.append(f"{due:.3f} {label}")
+            action()
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"event loop exceeded {max_events} events without "
+                    "quiescing; likely a scheduling loop")
+        return processed
+
+    # -- continuation table -------------------------------------------------------
+
+    def register(self, exchange: "RequestExchange") -> None:
+        self._pending[exchange.message.message_id] = exchange
+
+    def unregister(self, exchange: "RequestExchange") -> None:
+        self._pending.pop(exchange.message.message_id, None)
+
+    def deliver_answer(self, message: AnswerMessage) -> None:
+        """Resume the continuation waiting on ``message.query_id``.  An
+        unknown or already-resumed id is a protocol violation: the reply is
+        forged, stale (its session was evicted), or duplicated past the
+        dedup layer."""
+        exchange = self._pending.get(message.query_id)
+        if exchange is None or exchange.completed:
+            raise ProtocolError(
+                f"AnswerMessage from {message.sender!r} answers query id "
+                f"{message.query_id}, which has no pending continuation "
+                "(unknown, already resumed, or its session was evicted)")
+        exchange.finish(message)
+
+
+class RequestExchange:
+    """One RPC unrolled into events, mirroring ``Transport.request`` +
+    ``Transport._with_retries`` step for step.  ``on_outcome`` receives the
+    reply :class:`Message` on success or the exception instance the inline
+    path would have raised."""
+
+    def __init__(self, scheduler: EventScheduler, message: Message,
+                 on_outcome: Callable[[object], None]) -> None:
+        self.scheduler = scheduler
+        self.transport = scheduler.transport
+        self.message = message
+        self.on_outcome = on_outcome
+        self.attempt = 0
+        self.completed = False
+        retry = self.transport.retry
+        self.attempts_allowed = retry.max_attempts if retry is not None else 1
+
+    # -- attempt lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        self.scheduler.register(self)
+        self._attempt_action()
+
+    def _attempt_action(self) -> None:
+        """One delivery attempt, at the current clock (the retry event's due
+        time already includes the failed transmission's delay + backoff)."""
+        self.attempt += 1
+        transport = self.transport
+        try:
+            transport._check_deadline(self.message)
+        except DeadlineExceeded as error:
+            self.finish(error)
+            return
+        try:
+            outcome = transport.begin_transmission(self.message)
+        except MessageTooLargeError as error:
+            self.finish(error)
+            return
+        if outcome.error is not None:
+            self._fail_attempt(outcome.error, outcome.delay_ms)
+            return
+        decision = outcome.decision
+        if decision is not None and decision.corrupt:
+            # A damaged query cannot be meaningfully evaluated; the
+            # receiver's edge detects it.  Deterministic, so no retry.
+            try:
+                transport._apply_corruption(self.message)
+            except SignatureError as error:
+                self._finish_after(outcome.delay_ms, error)
+                return
+        self.scheduler.schedule(
+            outcome.delay_ms,
+            self.scheduler._alias(self.message) + " deliver",
+            lambda: self._deliver_request(decision))
+
+    def _fail_attempt(self, error: TransientNetworkError,
+                      delay_ms: float) -> None:
+        """The transmission was lost: back off and retry (as a future event)
+        or give up, with the same accounting as the inline retry loop."""
+        transport = self.transport
+        if self.attempt < self.attempts_allowed:
+            backoff = transport.retry.backoff_ms(
+                self.attempt, transport._backoff_rng)
+            transport.stats.retries += 1
+            transport._count_for_session(self.message, "retries")
+            transport.stats.simulated_ms += backoff
+            self.scheduler.schedule(
+                delay_ms + backoff,
+                self.scheduler._alias(self.message) + " retry",
+                self._attempt_action)
+            return
+        transport._count_for_session(self.message, "gave_up")
+        self._finish_after(delay_ms, error)
+
+    def _finish_after(self, delay_ms: float, outcome: object) -> None:
+        """Deliver a terminal outcome once the in-flight transmission's
+        simulated delay has elapsed (the inline path charged that latency
+        before raising)."""
+        self.scheduler.schedule(
+            delay_ms,
+            self.scheduler._alias(self.message) + " fail",
+            lambda: self.finish(outcome))
+
+    # -- receiver side -----------------------------------------------------------
+
+    @staticmethod
+    def _answers_suspendably(receiver) -> bool:
+        """True when the receiver's query answering runs through the stock
+        step generator.  A subclass that overrides ``_handle_query`` (e.g.
+        the grid scenario's delegating handheld) opted out of the generator
+        protocol — its override must keep running inline, not be bypassed
+        by the base class's steps."""
+        from repro.negotiation.peer import Peer
+
+        if not isinstance(receiver, Peer):
+            return False
+        return type(receiver)._handle_query is Peer._handle_query
+
+    def _deliver_request(self, decision) -> None:
+        """The request arrived: dedupe against the session reply cache, then
+        run the handler — suspendably for queries, inline otherwise."""
+        transport = self.transport
+        message = self.message
+        cache = transport._reply_cache.setdefault(message.session_id, {})
+        cached = cache.get(message.dedup_key)
+        if cached is not None:
+            transport.stats.duplicates_suppressed += 1
+            transport._count_for_session(message, "duplicates_suppressed")
+            if decision is not None and decision.duplicate:
+                transport.stats.record(message, message.wire_size(), 0.0)
+                transport.stats.duplicates_suppressed += 1
+                transport._count_for_session(message, "duplicates_suppressed")
+            self._send_reply(cached)
+            return
+        try:
+            receiver = transport.registry.get(message.receiver)
+        except UnknownPeerError as error:
+            self.finish(error)
+            return
+        if isinstance(message, QueryMessage) and self._answers_suspendably(
+                receiver):
+            task = EvaluationTask(
+                self.scheduler,
+                receiver.answer_query_steps(message, suspendable=True),
+                on_done=lambda reply: self._evaluation_done(reply, decision),
+                on_error=self._evaluation_failed)
+            task.start()
+            return
+        try:
+            reply = receiver.handle(message)
+        except Exception as error:  # noqa: BLE001 - routed, not swallowed
+            self._evaluation_failed(error)
+            return
+        if reply is None:
+            self.finish(NetworkError(
+                f"peer {message.receiver!r} returned no reply to "
+                f"{message.kind}"))
+            return
+        self._evaluation_done(reply, decision)
+
+    def _evaluation_done(self, reply: Message, decision) -> None:
+        transport = self.transport
+        message = self.message
+        cache = transport._reply_cache.setdefault(message.session_id, {})
+        cache[message.dedup_key] = reply
+        if decision is not None and decision.duplicate:
+            # The network delivered a second copy of the request: account
+            # it; the (now populated) reply cache suppresses re-execution.
+            transport.stats.record(message, message.wire_size(), 0.0)
+            transport.stats.duplicates_suppressed += 1
+            transport._count_for_session(message, "duplicates_suppressed")
+        self._send_reply(reply)
+
+    def _evaluation_failed(self, error: BaseException) -> None:
+        if isinstance(error, TransientNetworkError):
+            # Inline, a transient escaping the handler is retried by the
+            # caller's retry loop (the reply cache is still empty, so the
+            # handler re-executes).  Keep that behaviour.
+            self._fail_attempt(error, 0.0)
+        else:
+            self.finish(error)
+
+    def _send_reply(self, reply: Message) -> None:
+        transport = self.transport
+        try:
+            outcome = transport.begin_transmission(reply)
+        except MessageTooLargeError as error:
+            self.finish(error)
+            return
+        if outcome.error is not None:
+            # Lost reply: the retry retransmits the *request* (same id);
+            # redelivery hits the reply cache and retransmits this reply.
+            self._fail_attempt(outcome.error, outcome.delay_ms)
+            return
+        decision = outcome.decision
+        payload = reply
+        if decision is not None and decision.corrupt:
+            # Inline returns the damaged copy immediately, skipping the
+            # duplicate accounting below — keep that short-circuit.
+            try:
+                payload = transport._apply_corruption(reply)
+            except SignatureError as error:
+                self._finish_after(outcome.delay_ms, error)
+                return
+        elif decision is not None and decision.duplicate:
+            transport.stats.record(reply, reply.wire_size(), 0.0)
+            transport.stats.duplicates_suppressed += 1
+            transport._count_for_session(self.message, "duplicates_suppressed")
+        if isinstance(payload, AnswerMessage):
+            self.scheduler.schedule(
+                outcome.delay_ms,
+                self.scheduler._alias(payload) + " deliver",
+                lambda: self.scheduler.deliver_answer(payload))
+        else:
+            self.scheduler.schedule(
+                outcome.delay_ms,
+                self.scheduler._alias(payload) + " deliver",
+                lambda: self.finish(payload))
+
+    # -- completion --------------------------------------------------------------
+
+    def finish(self, outcome: object) -> None:
+        """Terminal: hand the reply (or exception instance) to the waiting
+        continuation.  Runs synchronously — resumption chains are bounded by
+        the nesting budget, exactly like the inline call stack was."""
+        if self.completed:
+            return
+        self.completed = True
+        self.scheduler.unregister(self)
+        self.on_outcome(outcome)
+
+
+class EvaluationTask:
+    """Drives one suspendable step generator to completion.  Each
+    :class:`Suspension` the generator yields carries a
+    :class:`repro.negotiation.engine.RemoteCall`; the task opens a nested
+    :class:`RequestExchange` for it and resumes the generator — at the exact
+    suspension point — with the exchange's outcome."""
+
+    def __init__(self, scheduler: EventScheduler, generator,
+                 on_done: Callable[[object], None],
+                 on_error: Callable[[BaseException], None]) -> None:
+        self.scheduler = scheduler
+        self.generator = generator
+        self.on_done = on_done
+        self.on_error = on_error
+
+    def start(self) -> None:
+        self._step(None)
+
+    def _step(self, value: object) -> None:
+        try:
+            item = self.generator.send(value)
+        except StopIteration as stop:
+            self.on_done(stop.value)
+            return
+        except Exception as error:  # noqa: BLE001 - routed to the requester
+            self.on_error(error)
+            return
+        assert isinstance(item, Suspension), item
+        call = item.payload
+        RequestExchange(self.scheduler, call.message,
+                        on_outcome=self._step).start()
+
+
+def scheduler_for(transport) -> EventScheduler:
+    """The transport's scheduler, creating and attaching it on first use
+    (``Transport.scheduler`` starts as ``None`` so the inline synchronous
+    path carries no event-loop baggage)."""
+    if transport.scheduler is None:
+        transport.scheduler = EventScheduler(transport)
+    return transport.scheduler

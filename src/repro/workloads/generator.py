@@ -363,3 +363,65 @@ def build_third_party_endorsement(provider_hint: bool = False,
                     parse_literal('resource("Client")'),
                     description="third-party endorsement"
                     + (" (with hint)" if provider_hint else ""))
+
+
+# ---------------------------------------------------------------------------
+# E14: interleaved-negotiation fleets (one transport, many bilateral pairs)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FleetWorkload:
+    """``pair_count`` independent client/server negotiations sharing one
+    world (and hence one transport, clock, and event scheduler) — the input
+    shape of :func:`repro.runtime.run_many` and the E14 benchmark."""
+
+    world: World
+    specs: list  # list[repro.runtime.NegotiationSpec]
+    description: str = ""
+
+    def run_serial(self) -> list[NegotiationResult]:
+        """One at a time through the synchronous facade (the baseline the
+        interleaved run is compared against)."""
+        from repro.runtime import run_negotiation
+
+        return [run_negotiation(spec.requester, spec.provider, spec.goal,
+                                deadline_ms=spec.deadline_ms)
+                for spec in self.specs]
+
+    def run_interleaved(self, stagger_ms: float = 0.0):
+        from repro.runtime import run_many
+
+        return run_many(self.specs, stagger_ms=stagger_ms)
+
+
+def build_bilateral_fleet(pair_count: int, key_bits: int = 512) -> FleetWorkload:
+    """``pair_count`` disjoint client/server pairs, each negotiating the
+    quickstart handshake (a release guard answered by one client
+    credential) on one shared transport.  Deterministic given its
+    parameters, so interleaved runs replay identically."""
+    if pair_count < 1:
+        raise ValueError("pair_count must be >= 1")
+    from repro.runtime import NegotiationSpec
+
+    world = World(key_bits=key_bits)
+    specs = []
+    for index in range(pair_count):
+        world.add_peer(
+            f"Server{index}",
+            f'hello{index}(Requester) $ true <- '
+            f'friend{index}(Requester) @ "CA{index}" @ Requester.')
+        client = world.add_peer(
+            f"Client{index}",
+            f'friend{index}(X) @ Y $ true <-{{true}} friend{index}(X) @ Y.')
+        world.issuer(f"CA{index}")
+        world.distribute_keys()
+        world.give_credentials(
+            f"Client{index}",
+            f'friend{index}("Client{index}") signedBy ["CA{index}"].')
+        specs.append(NegotiationSpec(
+            requester=client,
+            provider=f"Server{index}",
+            goal=parse_literal(f'hello{index}("Client{index}")'),
+        ))
+    return FleetWorkload(world, specs,
+                         description=f"bilateral fleet x{pair_count}")

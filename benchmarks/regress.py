@@ -32,6 +32,7 @@ if str(HERE) not in sys.path:  # allow `python benchmarks/regress.py`
 
 from bench_hotpaths import REPORT_PATH, run_suite, summary_rows  # noqa: E402
 import bench_concurrency  # noqa: E402
+import bench_fanout  # noqa: E402
 
 from repro.bench.reporting import format_table  # noqa: E402
 
@@ -111,6 +112,27 @@ def main(argv=None) -> int:
     else:
         failures.append(f"no concurrency baseline at {conc_baseline_path}; "
                         "run bench_concurrency.py first")
+
+    # E15 scatter-gather gate: fan-out speedups and the session-delta
+    # byte-reduction ratio, compared against their committed baseline.
+    # Deterministic (simulated clock + exact wire sizes), so the floors are
+    # exact: fanout_x4 must stay >= 0.8 * min(2.5, 3.0) = 2.0x >= the 1.5x
+    # acceptance bar, and the delta ratio must stay near its baseline.
+    fanout_baseline_path = bench_fanout.REPORT_PATH
+    if fanout_baseline_path.exists():
+        fanout_baseline = load_baseline(fanout_baseline_path)
+        fanout_current = [
+            {"benchmark": row["benchmark"], "speedup": row["speedup"]}
+            for row in bench_fanout.run_suite(quick=args.quick)
+        ]
+        fanout_rows, fanout_failures = compare(fanout_baseline, fanout_current)
+        print(format_table(fanout_rows,
+                           title="scatter-gather (E15) regression check"))
+        rows += fanout_rows
+        failures += fanout_failures
+    else:
+        failures.append(f"no fan-out baseline at {fanout_baseline_path}; "
+                        "run bench_fanout.py first")
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps({
         "baseline": str(args.baseline),

@@ -78,6 +78,11 @@ def _configure_chaos(world, args) -> None:
         from repro.net.transport import RetryPolicy
 
         world.set_retry(RetryPolicy(max_attempts=retries))
+    max_in_flight = getattr(args, "max_in_flight", None)
+    if max_in_flight and max_in_flight > 1:
+        world.transport.max_in_flight = max_in_flight
+    if getattr(args, "disclosure_deltas", False):
+        world.transport.disclosure_deltas = True
 
 
 def _print_cache_stats(out, session=None) -> None:
@@ -302,6 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
         group.add_argument("--deadline-ms", type=float, default=None,
                            metavar="MS",
                            help="simulated-ms budget for the negotiation")
+        group.add_argument("--max-in-flight", type=int, default=None,
+                           metavar="N",
+                           help="scatter-gather window: independent remote "
+                                "sub-queries issued concurrently (default 1 "
+                                "= sequential)")
+        group.add_argument("--disclosure-deltas", action="store_true",
+                           help="send repeat credentials as compact hash "
+                                "references within a session")
 
     def add_stats_option(sub) -> None:
         sub.add_argument("--stats", action="store_true",

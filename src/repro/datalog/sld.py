@@ -280,6 +280,13 @@ class SLDEngine:
         # clause object since the transformation is deterministic.
         self.reorder_bodies = reorder_bodies
         self._reordered: dict[tuple, Rule] = {}
+        # Scatter-gather prefetch hook (suspendable dispatchers only): a
+        # generator-valued callable invoked once per multi-goal conjunction
+        # *before* left-to-right resolution.  It may suspend (to issue
+        # independent remote sub-queries concurrently) but yields no
+        # solutions; resolution proceeds normally afterwards, consuming
+        # whatever the hook prefetched.  None = zero overhead.
+        self.gather_hook: Optional[Callable] = None
         self.stats = SLDStats()
         # Answer tables: call-pattern key -> {answer key: (answer, proof)}.
         # The inner dict preserves insertion order for fair replay and makes
@@ -461,6 +468,11 @@ class SLDEngine:
                     f"resolution exceeded max_depth={self.max_depth}")
             self.stats.depth_cutoffs += 1
             return
+        if len(goals) > 1 and self.gather_hook is not None:
+            # yield from forwards the hook's Suspensions upward and routes
+            # the driver's send() values back into it, like any other
+            # suspendable sub-generator.
+            yield from self.gather_hook(goals, subst, depth)
         goal, rest = goals[0], goals[1:]
 
         # Explicit pump instead of nested for-loops: Suspension items must be

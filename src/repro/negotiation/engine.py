@@ -50,7 +50,7 @@ from repro.errors import (
     SignatureError,
     TransientNetworkError,
 )
-from repro.net.message import QueryMessage
+from repro.net.message import QueryMessage, ref_matches
 from repro.negotiation.session import Session
 from repro.policy.pseudovars import binder, bind_pseudovars_in_literal
 
@@ -76,6 +76,23 @@ class RemoteCall:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RemoteCall({self.message.sender!r}->"
                 f"{self.message.receiver!r}, {self.message.goal})")
+
+
+class GatherCall:
+    """Payload of a scatter-gather :class:`Suspension`: several independent
+    prepared queries to issue concurrently.  The driver resumes the
+    suspended generator with a list of outcomes — the reply message or the
+    exception instance the sequential path would have raised — aligned
+    index-for-index with ``calls`` (issue order, not arrival order, so
+    resumption is deterministic regardless of network interleaving)."""
+
+    __slots__ = ("calls",)
+
+    def __init__(self, calls: Sequence[RemoteCall]) -> None:
+        self.calls = list(calls)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GatherCall({len(self.calls)} calls)"
 
 
 def drain_steps(steps):
@@ -147,6 +164,14 @@ class EvalContext:
             rule_transform=binder(requester, peer.name),
         )
         self.engine.dispatch = self._dispatch
+        # Prefetched scatter-gather outcomes, keyed by (target, reduced-goal
+        # pattern); consumed (popped) by _remote_solutions when resolution
+        # reaches the corresponding goal.
+        self._gather_replies: dict[tuple, object] = {}
+        transport = getattr(peer, "transport", None)
+        if (suspendable and allow_remote and transport is not None
+                and getattr(transport, "max_in_flight", 1) > 1):
+            self.engine.gather_hook = self._gather_prefetch
 
     # -- public querying --------------------------------------------------------
 
@@ -356,6 +381,92 @@ class EvalContext:
 
     # -- remote evaluation ----------------------------------------------------------------
 
+    def _gather_prefetch(self, goals, subst: Substitution, depth: int):
+        """Scatter half of scatter-gather evaluation (the engine's
+        ``gather_hook``): scan a conjunction for goals that will certainly
+        be resolved remotely, and — when two or more are *independent* —
+        issue all their queries in one :class:`GatherCall` suspension.
+        Their replies are stashed in ``_gather_replies`` for
+        :meth:`_remote_solutions` to consume when left-to-right resolution
+        reaches each goal.
+
+        Independence is variable-disjointness under the current
+        substitution: a goal is gatherable only when it shares no unbound
+        variable with *any* earlier goal of the conjunction, since an
+        earlier solution could otherwise instantiate it into a different
+        (narrower) remote query than the one we would prefetch.  Goals with
+        any local derivation path — matching credentials, local clauses, or
+        in-hand evidence for the reduced form — are skipped conservatively:
+        the sequential path might never reach the network for them, and
+        speculative queries must stay limited to goals where the wire is
+        the only route."""
+        candidates: list[tuple[tuple, str, Literal]] = []
+        prior_vars: set = set()
+        transport = getattr(self.peer, "transport", None)
+        for goal in goals:
+            resolved = goal.apply(subst)
+            goal_vars = resolved.variables()
+            independent = not (goal_vars & prior_vars)
+            prior_vars |= goal_vars
+            if not independent or resolved.negated or not resolved.authority:
+                continue
+            outer = resolved.authority[-1]
+            if not isinstance(outer, Constant) or not isinstance(outer.value, str):
+                continue
+            target = outer.value
+            if target == self.peer.name or target in self.drop_peers:
+                continue
+            if any(store.candidates(resolved.indicator) for store in self.stores):
+                continue
+            if next(iter(self.engine.kb.rules_for(resolved)), None) is not None:
+                continue
+            reduced = resolved.drop_outer_authority()
+            if any(store.candidates(reduced.indicator) for store in self.stores):
+                continue
+            key = (target, canonical_literal(reduced))
+            if key in self._gather_replies:
+                continue
+            if transport is None or not transport.registry.knows(target):
+                continue
+            if not self.session.nesting_available():
+                continue
+            candidates.append((key, target, reduced))
+        if len(candidates) < 2:
+            return
+        calls: list[RemoteCall] = []
+        entered: list[tuple[tuple, str]] = []
+        for key, target, reduced in candidates:
+            if not self.session.enter_remote(self.peer.name, target, key[1]):
+                continue
+            entered.append((key, target))
+            calls.append(RemoteCall(QueryMessage(
+                sender=self.peer.name,
+                receiver=target,
+                session_id=self.session.id,
+                goal=reduced,
+                depth=depth,
+            ), self.session))
+        if len(calls) < 2:
+            for key, target in entered:
+                self.session.exit_remote(self.peer.name, target, key[1])
+            return
+        self.session.counters["gather_batches"] += 1
+        self.session.counters["gather_calls"] += len(calls)
+        self.session.log("gather", self.peer.name, "",
+                         f"{len(calls)} concurrent sub-queries")
+        for call in calls:
+            self.session.log("query", self.peer.name, call.message.receiver,
+                             str(call.message.goal))
+        try:
+            outcomes = yield Suspension(GatherCall(calls))
+        finally:
+            for key, target in entered:
+                self.session.exit_remote(self.peer.name, target, key[1])
+        if isinstance(outcomes, BaseException):
+            raise outcomes
+        for (key, _target), outcome in zip(entered, outcomes):
+            self._gather_replies[key] = outcome
+
     def _remote_solutions(
         self,
         goal: Literal,
@@ -365,6 +476,32 @@ class EvalContext:
         target: str,
         depth: int,
     ) -> Iterator[tuple[Substitution, ProofNode]]:
+        if self._gather_replies:
+            prefetched = self._gather_replies.pop(
+                (target, canonical_literal(reduced)), None)
+            if prefetched is not None:
+                # Gather half already transmitted the query and logged it;
+                # replay its outcome through the same failure discipline the
+                # sequential path applies below.  Anything else (notably
+                # DeadlineExceeded) propagates, exactly as a live raise would.
+                try:
+                    if isinstance(prefetched, BaseException):
+                        raise prefetched
+                    reply = prefetched
+                except TransientNetworkError as error:
+                    self.session.counters["network_failures"] += 1
+                    self.session.log("gave-up", self.peer.name, target, str(error))
+                    return
+                except MessageTooLargeError as error:
+                    self.session.counters["oversized_messages"] += 1
+                    self.session.log("oversized", self.peer.name, target, str(error))
+                    return
+                except SignatureError as error:
+                    self.session.counters["corrupt_payloads"] += 1
+                    self.session.log("corrupt", self.peer.name, target, str(error))
+                    return
+                yield from self._absorb_reply(goal, reduced, subst, target, reply)
+                return
         request = self._issue_remote(reduced, target, depth)
         if request is None:
             return
@@ -464,6 +601,38 @@ class EvalContext:
         disclosed = list(item.credentials)
         if item.answer_credential is not None:
             disclosed.append(item.answer_credential)
+        # Disclosure deltas: resolve hash references against what this peer
+        # already holds (session overlay first, then the long-term wallet).
+        # A resolved reference skips signature re-verification entirely —
+        # the cached payload was verified when it first crossed the wire —
+        # but revocation is re-checked on every resolution, since a CRL may
+        # have arrived since.  An unresolvable or revoked reference rejects
+        # the whole item: references are claims about shared session state,
+        # and a wrong claim must never admit material.
+        refs = list(item.credential_refs)
+        if item.answer_credential_ref is not None:
+            refs.append(item.answer_credential_ref)
+        resolved_refs: list[Credential] = []
+        for ref in refs:
+            credential = overlay.get(ref.serial)
+            if credential is None:
+                credential = self.peer.credentials.get(ref.serial)
+            if credential is None or not ref_matches(ref, credential):
+                self.session.counters["unresolved_refs"] += 1
+                self.session.log("reject-ref", self.peer.name, target,
+                                 ref.serial[:12])
+                return
+            if any(crl.is_revoked(credential.serial) for crl in self.peer.crls):
+                # Revocation observed since the payload was cached: purge
+                # every per-session cache entry for it, so later disclosures
+                # must ship — and re-verify — the full credential.
+                self.session.counters["revoked_refs"] += 1
+                self.session.purge_credential(credential.serial)
+                self.session.log("reject-ref", self.peer.name, target,
+                                 f"revoked {ref.serial[:12]}")
+                return
+            self.session.counters["delta_ref_hits"] += 1
+            resolved_refs.append(credential)
         # Re-presented credentials (same rule, same signature, prior session
         # or earlier round) verify through the process-wide RSA cache; track
         # how often that shortcut fires for this session's disclosures.
@@ -481,7 +650,7 @@ class EvalContext:
         if cached_verifications:
             self.session.counters["sig_cache_hits"] += cached_verifications
             self.engine.stats.sig_cache_hits += cached_verifications
-        for credential in disclosed:
+        for credential in (*disclosed, *resolved_refs):
             overlay.add(credential)
             self.session.mark_holder(credential.serial, self.peer.name)
             self.session.mark_holder(credential.serial, target)

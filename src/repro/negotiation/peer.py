@@ -53,11 +53,14 @@ from repro.errors import (
 from repro.net.message import (
     AnswerItem,
     AnswerMessage,
+    CredentialRef,
     DisclosureMessage,
     Message,
     PolicyMessage,
     PolicyRequestMessage,
     QueryMessage,
+    credential_ref,
+    dedup_answer_credentials,
 )
 from repro.datalog.sld import Suspension, unify_literals
 from repro.datalog.substitution import Substitution
@@ -167,6 +170,28 @@ class Peer:
             if self.credentials.add(credential):
                 added += 1
         return added
+
+    def _deltas_enabled(self) -> bool:
+        return bool(self.transport is not None
+                    and getattr(self.transport, "disclosure_deltas", False))
+
+    def _answer_credential_delta(
+        self,
+        credential: Credential,
+        requester: str,
+        session: Session,
+    ) -> tuple[Optional[Credential], Optional[CredentialRef]]:
+        """Disclosure-delta split for an answer credential: the full payload
+        on its first crossing of the ``self -> requester`` wire in this
+        session, a compact :class:`CredentialRef` afterwards (the requester
+        resolves it from its session cache without re-verification)."""
+        if not self._deltas_enabled():
+            return credential, None
+        if session.wire_disclosed(self.name, requester, credential.serial):
+            session.counters["delta_refs_sent"] += 1
+            return None, credential_ref(credential)
+        session.note_wire_disclosure(self.name, requester, credential.serial)
+        return credential, None
 
     def self_credential(self, literal: Literal) -> Credential:
         """A self-signed credential asserting a ground literal this peer
@@ -317,7 +342,7 @@ class Peer:
         return AnswerMessage(
             sender=self.name, receiver=requester,
             session_id=session.id, query_id=message.message_id,
-            items=tuple(items))
+            items=dedup_answer_credentials(items))
 
     def _build_answer_item_steps(
         self,
@@ -397,12 +422,15 @@ class Peer:
             disclosed.append(credential)
 
         answer_credential: Optional[Credential] = None
+        answer_ref: Optional[CredentialRef] = None
         if answered.is_ground():
-            answer_credential = self.self_credential(answered)
+            credential = self.self_credential(answered)
             if self.sticky_policies and inherited_guard:
-                answer_credential = with_sticky_guard(
-                    answer_credential, inherited_guard)
+                credential = with_sticky_guard(credential, inherited_guard)
+            answer_credential, answer_ref = self._answer_credential_delta(
+                credential, requester, session)
 
+        deltas = self._deltas_enabled()
         bindings = {
             variable.name: solution.subst.resolve(variable)
             for variable in goal.variables()
@@ -411,6 +439,9 @@ class Peer:
         for credential in disclosed:
             session.mark_holder(credential.serial, requester)
             session.mark_holder(credential.serial, self.name)
+            if deltas:
+                session.note_wire_disclosure(
+                    self.name, requester, credential.serial)
             session.log("disclose", self.name, requester,
                         str(credential.rule.head))
         return AnswerItem(
@@ -418,6 +449,7 @@ class Peer:
             credentials=tuple(dict.fromkeys(disclosed)),  # stable dedup
             answer_credential=answer_credential,
             answered_literal=answered,
+            answer_credential_ref=answer_ref,
         )
 
     def _release_policy_grants(
@@ -499,8 +531,11 @@ class Peer:
                                         str(answered))
                             continue
                 answer_credential: Optional[Credential] = None
+                answer_ref: Optional[CredentialRef] = None
                 if answered.is_ground():
-                    answer_credential = self.self_credential(answered)
+                    answer_credential, answer_ref = (
+                        self._answer_credential_delta(
+                            self.self_credential(answered), requester, session))
                 bindings = {
                     variable.name: solution.subst.resolve(variable)
                     for variable in bound_goal.variables()
@@ -511,6 +546,7 @@ class Peer:
                     credentials=(),
                     answer_credential=answer_credential,
                     answered_literal=answered,
+                    answer_credential_ref=answer_ref,
                 ))
         return items
 

@@ -74,6 +74,11 @@ class Session:
         self._received: dict[str, CredentialStore] = {}
         self._release_cache: dict[tuple, bool] = {}
         self._holders: dict[str, set[str]] = {}
+        # Disclosure-delta wire ledger: (sender, receiver) -> serials whose
+        # full payload already crossed that directed link in this session.
+        # Lives and dies with the session, so session close/evict invalidates
+        # every outstanding delta reference for free.
+        self._wire_ledger: dict[tuple[str, str], set[str]] = {}
         self._sequence = itertools.count(1)
 
     # -- transcript --------------------------------------------------------------
@@ -170,6 +175,28 @@ class Session:
 
     def holds(self, serial: str, peer_name: str) -> bool:
         return peer_name in self._holders.get(serial, ())
+
+    # -- disclosure-delta wire ledger --------------------------------------------------
+
+    def note_wire_disclosure(self, sender: str, receiver: str, serial: str) -> None:
+        """Record that ``sender`` shipped the full credential payload to
+        ``receiver``; later repeats on the same link may go as references."""
+        self._wire_ledger.setdefault((sender, receiver), set()).add(serial)
+
+    def wire_disclosed(self, sender: str, receiver: str, serial: str) -> bool:
+        return serial in self._wire_ledger.get((sender, receiver), ())
+
+    def purge_credential(self, serial: str) -> None:
+        """Invalidate every per-session cache entry for ``serial`` (CRL
+        revocation observed mid-session): the overlays stop resolving delta
+        references to it, holder tracking forgets it, and the wire ledger
+        forces the next disclosure to ship — and therefore re-verify — the
+        full payload."""
+        for store in self._received.values():
+            store.remove(serial)
+        self._holders.pop(serial, None)
+        for serials in self._wire_ledger.values():
+            serials.discard(serial)
 
     # -- release-decision memoisation -------------------------------------------------
 

@@ -166,6 +166,8 @@ class Transport:
         retry: Optional[RetryPolicy] = None,
         retain_sessions: bool = False,
         max_sessions: Optional[int] = None,
+        max_in_flight: int = 1,
+        disclosure_deltas: bool = False,
     ) -> None:
         self.registry = registry if registry is not None else PeerRegistry()
         self.latency = latency if latency is not None else bandwidth_latency()
@@ -174,6 +176,13 @@ class Transport:
         self.faults = faults
         self.retry = retry
         self.retain_sessions = retain_sessions
+        # Scatter-gather width: how many remote sub-queries one evaluation
+        # may keep in flight concurrently (event mode only; 1 = strictly
+        # sequential, byte-identical to the pre-gather behaviour).
+        self.max_in_flight = max_in_flight
+        # Per-session disclosure deltas: repeat credentials travel as
+        # CredentialRef hashes resolved from the receiver's session cache.
+        self.disclosure_deltas = disclosure_deltas
         self.stats = TransportStats()
         # Monotonic simulated clock: advances with message latency, injected
         # delay, and retry backoff; never reset (deadlines anchor to it).

@@ -134,8 +134,16 @@ class _NegotiationDriver:
                 return result
 
             overlay = self.session.received_for(self.requester.name)
+            deltas = getattr(self.transport, "disclosure_deltas", False)
             for item in items:
-                for credential in item.credentials:
+                received = list(item.credentials)
+                if deltas and item.answer_credential is not None:
+                    # Under disclosure deltas the provider's wire ledger
+                    # assumes we cache every full payload it ships: a later
+                    # CredentialRef for this answer credential must resolve
+                    # from our session overlay.
+                    received.append(item.answer_credential)
+                for credential in received:
                     try:
                         self.requester.hold_received(credential, self.session)
                     except Exception:  # noqa: BLE001 - recorded, not fatal

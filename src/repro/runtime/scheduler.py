@@ -362,12 +362,67 @@ class RequestExchange:
         self.on_outcome(outcome)
 
 
+class GatherExchange:
+    """N concurrent :class:`RequestExchange`s under one continuation — the
+    scatter half of scatter-gather evaluation.
+
+    Each call keeps its individual fault/retry semantics (it *is* an
+    ordinary :class:`RequestExchange`); this class only bounds how many run
+    at once (``Transport.max_in_flight``, the window) and collects their
+    outcomes.  Outcomes are stored by **issue index**, and the continuation
+    is resumed exactly once, after the last call lands, with the full list
+    in issue order — so resumption is deterministic however arrival order
+    interleaves.  Sim-clock tie-breaks stay deterministic too: launches
+    happen in issue order, so every scheduled event keeps the scheduler's
+    monotonically-increasing sequence numbers."""
+
+    def __init__(self, scheduler: EventScheduler, calls,
+                 on_outcome: Callable[[list], None]) -> None:
+        self.scheduler = scheduler
+        self.calls = list(calls)
+        self.on_outcome = on_outcome
+        self.outcomes: list[object] = [None] * len(self.calls)
+        self.window = max(1, getattr(scheduler.transport, "max_in_flight", 1))
+        self._launched = 0
+        self._landed = 0
+
+    def start(self) -> None:
+        if not self.calls:
+            self.on_outcome([])
+            return
+        for _ in range(min(self.window, len(self.calls))):
+            self._launch_next()
+
+    def _launch_next(self) -> None:
+        index = self._launched
+        self._launched += 1
+        RequestExchange(
+            self.scheduler, self.calls[index].message,
+            on_outcome=lambda outcome, index=index: self._landed_at(
+                index, outcome),
+        ).start()
+
+    def _landed_at(self, index: int, outcome: object) -> None:
+        self.outcomes[index] = outcome
+        self._landed += 1
+        if self._launched < len(self.calls):
+            # Window slot freed: launch the next queued call.  A call that
+            # completes synchronously (e.g. deadline already expired)
+            # recurses into this method; the completion check below then
+            # fires in the innermost frame, exactly once.
+            self._launch_next()
+        elif self._landed == len(self.calls):
+            self.on_outcome(self.outcomes)
+
+
 class EvaluationTask:
     """Drives one suspendable step generator to completion.  Each
     :class:`Suspension` the generator yields carries a
-    :class:`repro.negotiation.engine.RemoteCall`; the task opens a nested
-    :class:`RequestExchange` for it and resumes the generator — at the exact
-    suspension point — with the exchange's outcome."""
+    :class:`repro.negotiation.engine.RemoteCall` (one nested
+    :class:`RequestExchange`) or a
+    :class:`repro.negotiation.engine.GatherCall` (a :class:`GatherExchange`
+    fanning out N of them); either way the task resumes the generator — at
+    the exact suspension point — with the exchange's outcome."""
 
     def __init__(self, scheduler: EventScheduler, generator,
                  on_done: Callable[[object], None],
@@ -391,6 +446,12 @@ class EvaluationTask:
             return
         assert isinstance(item, Suspension), item
         call = item.payload
+        from repro.negotiation.engine import GatherCall
+
+        if isinstance(call, GatherCall):
+            GatherExchange(self.scheduler, call.calls,
+                           on_outcome=self._step).start()
+            return
         RequestExchange(self.scheduler, call.message,
                         on_outcome=self._step).start()
 

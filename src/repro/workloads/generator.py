@@ -215,6 +215,35 @@ def build_peer_ring(peer_count: int, key_bits: int = 512) -> Workload:
 
 
 # ---------------------------------------------------------------------------
+# E15: delegation fan-out (scatter-gather width sweeps)
+# ---------------------------------------------------------------------------
+
+def build_fanout_workload(width: int, key_bits: int = 512) -> Workload:
+    """A resource requiring one vouching statement from each of ``width``
+    *distinct* peers: ``resource(R) <- vouch0(R) @ "P0", ..``.
+
+    Once the requester is bound, the body literals are ground and share no
+    variables, so all ``width`` remote sub-queries are independent — the
+    canonical scatter-gather shape.  Sequentially the negotiation costs
+    ~``width`` round-trips; gathered, one."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    world = World(key_bits=key_bits)
+    body = ", ".join(f'vouch{i}(Requester) @ "P{i}"' for i in range(width))
+    world.add_peer("Server", f"resource(Requester) $ true <- {body}.")
+    client = world.add_peer("Client")
+    for i in range(width):
+        world.add_peer(
+            f"P{i}",
+            f"vouch{i}(X) $ true <- good{i}(X).\n"
+            f'good{i}("Client").')
+    world.distribute_keys()
+    return Workload(world, client, "Server",
+                    parse_literal('resource("Client")'),
+                    description=f"delegation fan-out width={width}")
+
+
+# ---------------------------------------------------------------------------
 # E10: negotiations that must terminate in failure
 # ---------------------------------------------------------------------------
 

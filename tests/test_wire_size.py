@@ -1,0 +1,110 @@
+"""Property: ``Message.wire_size()`` equals ``len(Message.encode())``.
+
+The transport accounts bandwidth and latency from ``wire_size()``; the
+canonical serialized payload is ``encode()``.  The two must agree byte for
+byte for *every* message kind — including answer items that mix full
+credential payloads with :class:`~repro.net.message.CredentialRef` delta
+entries — or the simulated wire model silently drifts from what a real
+serialisation would cost.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.datalog.parser import parse_literal, parse_rule
+from repro.net.message import (
+    AnswerItem,
+    AnswerMessage,
+    CredentialRef,
+    DisclosureMessage,
+    PolicyMessage,
+    PolicyRequestMessage,
+    QueryMessage,
+    credential_ref,
+)
+from repro.world import World
+
+
+def _fixtures():
+    world = World()
+    world.add_peer("Issuer")
+    world.distribute_keys()
+    credentials = tuple(
+        world.credential(f'cred{i}("Holder", c{i}) signedBy ["Issuer"].')
+        for i in range(3))
+    return credentials
+
+
+CREDENTIALS = _fixtures()
+LITERALS = tuple(parse_literal(text) for text in (
+    'enroll(cs101, "Bob", Company, Email, 0)',
+    'vouch("Client") @ "P0"',
+    "member(X)",
+))
+RULES = tuple(parse_rule(text) for text in (
+    "ok(X) <- member(X).",
+    'policy(R) <- good(R) @ "CA".',
+))
+TERMS = tuple(literal.args[0] for literal in LITERALS)
+
+names = st.text(min_size=0, max_size=24)
+ids = st.integers(min_value=0, max_value=2**70)  # beyond the 8-byte mask too
+credentials = st.sampled_from(CREDENTIALS)
+literals = st.sampled_from(LITERALS)
+refs = st.builds(credential_ref, credentials) | st.builds(
+    CredentialRef, serial=names, digest=names)
+envelopes = st.fixed_dictionaries({
+    "sender": names, "receiver": names, "session_id": names,
+    "message_id": ids,
+})
+answer_items = st.builds(
+    AnswerItem,
+    bindings=st.dictionaries(names, st.sampled_from(TERMS), max_size=3),
+    credentials=st.lists(credentials, max_size=3).map(tuple),
+    answer_credential=st.none() | credentials,
+    answered_literal=st.none() | literals,
+    credential_refs=st.lists(refs, max_size=3).map(tuple),
+    answer_credential_ref=st.none() | refs,
+)
+
+
+def _check(message):
+    assert message.wire_size() == len(message.encode())
+
+
+@given(envelope=envelopes, goal=literals,
+       depth=st.integers(min_value=0, max_value=2**33))
+def test_query_wire_size(envelope, goal, depth):
+    _check(QueryMessage(goal=goal, depth=depth, **envelope))
+
+
+@given(envelope=envelopes, query_id=ids,
+       items=st.lists(answer_items, max_size=3).map(tuple))
+def test_answer_wire_size(envelope, query_id, items):
+    _check(AnswerMessage(query_id=query_id, items=items, **envelope))
+
+
+@given(envelope=envelopes,
+       creds=st.lists(credentials, max_size=4).map(tuple),
+       final=st.booleans())
+def test_disclosure_wire_size(envelope, creds, final):
+    _check(DisclosureMessage(credentials=creds, final=final, **envelope))
+
+
+@given(envelope=envelopes, policy_name=names)
+def test_policy_request_wire_size(envelope, policy_name):
+    _check(PolicyRequestMessage(policy_name=policy_name, **envelope))
+
+
+@given(envelope=envelopes, policy_name=names,
+       rules=st.lists(st.sampled_from(RULES), max_size=3).map(tuple),
+       granted=st.booleans())
+def test_policy_wire_size(envelope, policy_name, rules, granted):
+    _check(PolicyMessage(policy_name=policy_name, rules=rules,
+                         granted=granted, **envelope))
+
+
+@given(ref=refs)
+def test_credential_ref_wire_size(ref):
+    assert ref.wire_size() == len(ref.encode())

@@ -33,6 +33,7 @@ if str(HERE) not in sys.path:  # allow `python benchmarks/regress.py`
 from bench_hotpaths import REPORT_PATH, run_suite, summary_rows  # noqa: E402
 import bench_concurrency  # noqa: E402
 import bench_fanout  # noqa: E402
+import bench_obs  # noqa: E402
 
 from repro.bench.reporting import format_table  # noqa: E402
 
@@ -133,6 +134,27 @@ def main(argv=None) -> int:
     else:
         failures.append(f"no fan-out baseline at {fanout_baseline_path}; "
                         "run bench_fanout.py first")
+
+    # E16 observability gate: the disabled-tracer rows carry speedup 1.0
+    # (pure wall-time baselines) and trace_determinism carries 1.0 iff two
+    # seeded faulty traces serialised byte-identically — so its floor,
+    # 0.8 * 1.0, fails the run on any divergence, and the pytest entry in
+    # bench_obs.py additionally pins exact identity.
+    obs_baseline_path = bench_obs.REPORT_PATH
+    if obs_baseline_path.exists():
+        obs_baseline = load_baseline(obs_baseline_path)
+        obs_current = [
+            {"benchmark": row["benchmark"], "speedup": row["speedup"]}
+            for row in bench_obs.run_suite(quick=args.quick)
+        ]
+        obs_rows, obs_failures = compare(obs_baseline, obs_current)
+        print(format_table(obs_rows,
+                           title="observability (E16) regression check"))
+        rows += obs_rows
+        failures += obs_failures
+    else:
+        failures.append(f"no observability baseline at {obs_baseline_path}; "
+                        "run bench_obs.py first")
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps({
         "baseline": str(args.baseline),

@@ -19,12 +19,50 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.errors import PeerTrustError
 
 DEMOS = ("quickstart", "scenario1", "scenario2", "grid")
+
+
+@contextmanager
+def _obs_scope(args, world):
+    """Activate tracing/metrics for one CLI run when requested.
+
+    ``--trace PATH`` binds a :class:`repro.obs.trace.Tracer` to the world's
+    simulated clock for the duration of the command and exports the JSONL
+    trace on the way out (same seed ⇒ byte-identical file).
+    ``--metrics-out PATH`` dumps the full registry in Prometheus text
+    format after the run."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    tracer = None
+    if trace_path:
+        from repro.obs import trace as obs_trace
+
+        transport = world.transport
+        tracer = obs_trace.Tracer(clock=lambda: transport.now_ms)
+        obs_trace.activate(tracer)
+    try:
+        yield
+    finally:
+        if tracer is not None:
+            from repro.obs import trace as obs_trace
+
+            obs_trace.deactivate()
+            tracer.export(trace_path)
+        if metrics_path:
+            from repro.obs.metrics import (
+                global_registry,
+                install_default_collectors,
+            )
+
+            install_default_collectors()
+            with open(metrics_path, "w") as handle:
+                handle.write(global_registry().render_prometheus())
 
 
 def _build_demo_world(name: str):
@@ -86,22 +124,22 @@ def _configure_chaos(world, args) -> None:
 
 
 def _print_cache_stats(out, session=None) -> None:
-    """The ``--stats`` block: hot-path cache counters across every layer."""
-    from repro.crypto.rsa import SIGNATURE_CACHE_STATS
-    from repro.datalog.sld import GLOBAL_COUNTERS, canonical_cache_info
-    from repro.datalog.terms import INTERN_STATS
+    """The ``--stats`` block: hot-path cache counters across every layer,
+    sourced from the unified metrics registry (the legacy stats objects
+    publish through it; the printed lines are unchanged)."""
+    from repro.obs.metrics import global_registry, install_default_collectors
 
-    interning = INTERN_STATS.snapshot()
-    signatures = SIGNATURE_CACHE_STATS.snapshot()
-    canonical = canonical_cache_info()
+    install_default_collectors()
+    snap = global_registry().snapshot()
     print("\ncache stats:", file=out)
-    print(f"  intern_hits:     {interning['intern_hits']} "
-          f"({interning['intern_misses']} misses)", file=out)
-    print(f"  sig_cache_hits:  {signatures['sig_cache_hits']} "
-          f"({signatures['sig_cache_misses']} misses, "
-          f"{signatures['sig_cache_size']} cached)", file=out)
-    print(f"  table_reuse:     {GLOBAL_COUNTERS.get('table_reuse', 0)}", file=out)
-    print(f"  canonical_hits:  {canonical.hits} ({canonical.misses} misses)",
+    print(f"  intern_hits:     {snap['peertrust_intern_hits_total']} "
+          f"({snap['peertrust_intern_misses_total']} misses)", file=out)
+    print(f"  sig_cache_hits:  {snap['peertrust_sig_cache_hits_total']} "
+          f"({snap['peertrust_sig_cache_misses_total']} misses, "
+          f"{snap['peertrust_sig_cache_size']} cached)", file=out)
+    print(f"  table_reuse:     {snap['peertrust_table_reuse_total']}", file=out)
+    print(f"  canonical_hits:  {snap['peertrust_canonical_hits_total']} "
+          f"({snap['peertrust_canonical_misses_total']} misses)",
           file=out)
     if session is not None:
         for counter in ("sig_cache_hits",):
@@ -213,9 +251,11 @@ def cmd_lint(args, out) -> int:
 def cmd_demo(args, out) -> int:
     world, (requester, provider, goal) = _build_demo_world(args.name)
     _configure_chaos(world, args)
-    return _run_negotiation(world, requester, provider, goal,
-                            args.strategy, out, deadline_ms=args.deadline_ms,
-                            show_stats=args.stats)
+    with _obs_scope(args, world):
+        return _run_negotiation(world, requester, provider, goal,
+                                args.strategy, out,
+                                deadline_ms=args.deadline_ms,
+                                show_stats=args.stats)
 
 
 def cmd_save_demo(args, out) -> int:
@@ -233,10 +273,11 @@ def cmd_negotiate(args, out) -> int:
 
     world = load_world(args.world)
     _configure_chaos(world, args)
-    return _run_negotiation(world, args.requester, args.provider,
-                            args.goal, args.strategy, out,
-                            deadline_ms=args.deadline_ms,
-                            show_stats=args.stats)
+    with _obs_scope(args, world):
+        return _run_negotiation(world, args.requester, args.provider,
+                                args.goal, args.strategy, out,
+                                deadline_ms=args.deadline_ms,
+                                show_stats=args.stats)
 
 
 def cmd_query(args, out) -> int:
@@ -249,7 +290,8 @@ def cmd_query(args, out) -> int:
         print(f"error: no peer named {args.peer!r}", file=sys.stderr)
         return 2
     goal = parse_literal(args.goal)
-    solutions = peer.local_query(goal, allow_remote=not args.local_only)
+    with _obs_scope(args, world):
+        solutions = peer.local_query(goal, allow_remote=not args.local_only)
     if not solutions:
         if args.stats:
             _print_cache_stats(out)
@@ -263,6 +305,21 @@ def cmd_query(args, out) -> int:
             print(explain(solution.proofs[0], indent=2), file=out)
     if args.stats:
         _print_cache_stats(out)
+    return 0
+
+
+def cmd_trace_view(args, out) -> int:
+    from repro.obs.timeline import load_records, render_summary, render_timeline
+
+    try:
+        records = load_records(args.file)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.summary:
+        print(render_summary(records), file=out, end="")
+    else:
+        print(render_timeline(records, width=args.width), file=out, end="")
     return 0
 
 
@@ -321,12 +378,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print hot-path cache counters "
                               "(interning, signature cache, table reuse)")
 
+    def add_obs_options(sub) -> None:
+        group = sub.add_argument_group(
+            "observability", "span tracing and metrics export")
+        group.add_argument("--trace", metavar="PATH", default=None,
+                           help="export a JSONL span trace of the run "
+                                "(deterministic per seed; render with "
+                                "'peertrust trace-view PATH')")
+        group.add_argument("--metrics-out", metavar="PATH", default=None,
+                           help="write a Prometheus-style text dump of the "
+                                "metrics registry after the run")
+
     p = subparsers.add_parser("demo", help="run one of the paper scenarios")
     p.add_argument("name", choices=DEMOS)
     p.add_argument("--strategy", default="parsimonious",
                    choices=("parsimonious", "eager"))
     add_chaos_options(p)
     add_stats_option(p)
+    add_obs_options(p)
     p.set_defaults(handler=cmd_demo)
 
     p = subparsers.add_parser("save-demo", help="snapshot a demo world to JSON")
@@ -343,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("parsimonious", "eager"))
     add_chaos_options(p)
     add_stats_option(p)
+    add_obs_options(p)
     p.set_defaults(handler=cmd_negotiate)
 
     p = subparsers.add_parser("query", help="evaluate a goal as one peer")
@@ -354,7 +424,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explain", action="store_true",
                    help="print the proof tree of each answer")
     add_stats_option(p)
+    add_obs_options(p)
     p.set_defaults(handler=cmd_query)
+
+    p = subparsers.add_parser("trace-view",
+                              help="render a JSONL trace as a sim-time "
+                                   "timeline")
+    p.add_argument("file", help="JSONL trace (see --trace)")
+    p.add_argument("--width", type=int, default=64,
+                   help="timeline width in characters (default 64)")
+    p.add_argument("--summary", action="store_true",
+                   help="aggregate per-name durations instead of the tree")
+    p.set_defaults(handler=cmd_trace_view)
 
     p = subparsers.add_parser("version", help="print the library version")
     p.set_defaults(handler=cmd_version)

@@ -46,15 +46,6 @@ class SignatureCacheStats:
         self.evictions = 0
         self.sign_hits = 0
 
-    def snapshot(self) -> dict:
-        return {
-            "sig_cache_hits": self.hits,
-            "sig_cache_misses": self.misses,
-            "sig_cache_evictions": self.evictions,
-            "sig_cache_sign_hits": self.sign_hits,
-            "sig_cache_size": len(_signature_cache),
-        }
-
 
 SIGNATURE_CACHE_STATS = SignatureCacheStats()
 

@@ -36,12 +36,34 @@ from repro.datalog.substitution import Substitution
 from repro.datalog.terms import INTERN_STATS, Compound, Constant, Term, Variable
 from repro.datalog.unify import unify
 from repro.errors import BuiltinError, DepthLimitExceeded, EvaluationError
+from repro.obs import trace as _trace
+from repro.obs.metrics import global_registry
 
 # Process-wide engine counters, aggregated across every SLDEngine instance
 # (negotiations create short-lived engines per evaluation context, so
 # per-instance stats alone cannot answer "how often did caches help this
 # run?").  Surfaced by ``peertrust ... --stats``.
 GLOBAL_COUNTERS: Counter = Counter()
+
+# Per-engine SLDStats fields folded into the process-wide registry once per
+# top-level query (engines are short-lived; the registry keeps the totals).
+_ENGINE_FIELDS = ("resolutions", "builtin_calls", "table_hits",
+                  "depth_cutoffs", "fixpoint_passes", "table_reuse",
+                  "intern_hits", "sig_cache_hits")
+_ENGINE_OPS = global_registry().counter(
+    "peertrust_engine_ops_total",
+    help="SLD engine operations, folded per top-level query",
+    labels=("op",))
+
+
+def _stats_marks(stats: "SLDStats") -> tuple:
+    return tuple(getattr(stats, name) for name in _ENGINE_FIELDS)
+
+
+def _fold_stats(stats: "SLDStats", before: tuple) -> None:
+    for name, prev, now in zip(_ENGINE_FIELDS, before, _stats_marks(stats)):
+        if now != prev:
+            _ENGINE_OPS.labels(name).inc(now - prev)
 
 # A dispatcher may return None ("not mine, resolve normally") or an iterator
 # of (substitution, proof) pairs covering the goal entirely.
@@ -312,6 +334,30 @@ class SLDEngine:
         With tabling enabled this runs repeated passes until the memo tables
         stop growing, so recursive programs return complete answer sets.
         """
+        goals = tuple(goals)
+        tracer = _trace.ACTIVE
+        marks = _stats_marks(self.stats)
+        if tracer is None:
+            try:
+                return self._query_impl(goals, subst, max_solutions)
+            finally:
+                _fold_stats(self.stats, marks)
+        with tracer.span("engine.query",
+                         goals=" & ".join(str(g) for g in goals),
+                         tabled=self.tabled) as span:
+            try:
+                solutions = self._query_impl(goals, subst, max_solutions)
+            finally:
+                _fold_stats(self.stats, marks)
+            span.attrs["solutions"] = len(solutions)
+            return solutions
+
+    def _query_impl(
+        self,
+        goals: Sequence[Literal],
+        subst: Optional[Substitution],
+        max_solutions: Optional[int],
+    ) -> list[Solution]:
         base = subst if subst is not None else Substitution.empty()
         goal_list = tuple(goals)
         query_vars = set()
@@ -374,6 +420,7 @@ class SLDEngine:
         goal_list = tuple(goals)
         self._sync_tables()
         intern_hits_before = INTERN_STATS.hits
+        marks = _stats_marks(self.stats)
         self.stats.fixpoint_passes += 1
         seen: set[tuple] = set()
         source = self._solve(goal_list, base, 0)
@@ -386,6 +433,9 @@ class SLDEngine:
                     break
                 outcome = None
                 if isinstance(item, Suspension):
+                    tracer = _trace.ACTIVE
+                    if tracer is not None:
+                        tracer.event("engine.suspend")
                     outcome = yield item
                     continue
                 result_subst, proofs = item
@@ -401,6 +451,7 @@ class SLDEngine:
         finally:
             source.close()
             self.stats.intern_hits += INTERN_STATS.hits - intern_hits_before
+            _fold_stats(self.stats, marks)
 
     def solve(
         self,
@@ -467,6 +518,10 @@ class SLDEngine:
                 raise DepthLimitExceeded(
                     f"resolution exceeded max_depth={self.max_depth}")
             self.stats.depth_cutoffs += 1
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event("engine.depth_cutoff", depth=depth,
+                             goal=str(goals[0].apply(subst)))
             return
         if len(goals) > 1 and self.gather_hook is not None:
             # yield from forwards the hook's Suspensions upward and routes
@@ -547,7 +602,14 @@ class SLDEngine:
         resolved_goal = goal.apply(subst)
         key = canonical_literal(resolved_goal)
 
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("engine.goal", goal=str(resolved_goal), depth=depth)
+
         if self.tabled and key in self._completed:
+            if tracer is not None:
+                tracer.event("engine.table", goal=str(resolved_goal),
+                             hit=True, reuse=key in self._retained)
             if key in self._retained:
                 self.stats.table_reuse += 1
                 GLOBAL_COUNTERS["table_reuse"] += 1
@@ -565,6 +627,9 @@ class SLDEngine:
             # Re-entrant call: replay table answers (tabled) or prune (untabled).
             self._reentered = True
             if self.tabled:
+                if tracer is not None:
+                    tracer.event("engine.table", goal=str(resolved_goal),
+                                 hit=True, reuse=False)
                 table = self._tables.get(key)
                 for answer, answer_proof in (list(table.values()) if table else ()):
                     self.stats.table_hits += 1

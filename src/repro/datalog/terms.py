@@ -46,9 +46,6 @@ class InternStats:
         self.hits = 0
         self.misses = 0
 
-    def snapshot(self) -> dict:
-        return {"intern_hits": self.hits, "intern_misses": self.misses}
-
 
 INTERN_STATS = InternStats()
 
@@ -222,6 +219,10 @@ class Constant(Term):
         return isinstance(self.value, (int, float)) and not isinstance(self.value, bool)
 
 
+# Binary operators the parser reads infix; mirrored by Compound.__str__.
+_INFIX_FUNCTORS = frozenset({"+", "-", "*", "/"})
+
+
 class Compound(Term):
     """A functor applied to one or more argument terms.
 
@@ -267,6 +268,11 @@ class Compound(Term):
         return f"Compound({self.functor!r}, {self.args!r})"
 
     def __str__(self) -> str:
+        # Arithmetic compounds render infix and parenthesized so the
+        # printed form round-trips through the parser (which has no
+        # prefix syntax for operators): ``(Balance + Price)``.
+        if len(self.args) == 2 and self.functor in _INFIX_FUNCTORS:
+            return f"({self.args[0]} {self.functor} {self.args[1]})"
         inner = ", ".join(str(a) for a in self.args)
         return f"{self.functor}({inner})"
 
@@ -341,6 +347,14 @@ def term_depth(term: Term) -> int:
 
 
 _fresh_counter = itertools.count(1)
+
+
+def reset_fresh_variables() -> None:
+    """Restart the fresh-variable counter (tests only: two runs from a
+    reset counter produce identical renamed-variable names, which trace
+    byte-identity checks rely on)."""
+    global _fresh_counter
+    _fresh_counter = itertools.count(1)
 
 
 def fresh_variable(base: str = "_G") -> Variable:

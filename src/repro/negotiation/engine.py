@@ -52,6 +52,7 @@ from repro.errors import (
 )
 from repro.net.message import QueryMessage, ref_matches
 from repro.negotiation.session import Session
+from repro.obs import trace as _trace
 from repro.policy.pseudovars import binder, bind_pseudovars_in_literal
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -67,11 +68,14 @@ class RemoteCall:
     reply message or an exception instance (raised at the call site, so the
     normal failure discipline of ``_remote_solutions`` applies)."""
 
-    __slots__ = ("message", "session")
+    __slots__ = ("message", "session", "trace_ctx")
 
     def __init__(self, message: QueryMessage, session: Session) -> None:
         self.message = message
         self.session = session
+        # Span that issued this call (set only while tracing): the driver
+        # parents the resulting RequestExchange under it.
+        self.trace_ctx = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RemoteCall({self.message.sender!r}->"
@@ -168,6 +172,9 @@ class EvalContext:
         # pattern); consumed (popped) by _remote_solutions when resolution
         # reaches the corresponding goal.
         self._gather_replies: dict[tuple, object] = {}
+        # The negotiation.remote span currently wrapping an impl generator,
+        # attached to the RemoteCalls it issues (tracing only).
+        self._remote_span = None
         transport = getattr(peer, "transport", None)
         if (suspendable and allow_remote and transport is not None
                 and getattr(transport, "max_in_flight", 1) > 1):
@@ -457,11 +464,21 @@ class EvalContext:
         for call in calls:
             self.session.log("query", self.peer.name, call.message.receiver,
                              str(call.message.goal))
+        tracer = _trace.ACTIVE
+        gather_span = None
+        if tracer is not None:
+            gather_span = tracer.begin(
+                "negotiation.gather", peer=self.peer.name, calls=len(calls),
+                session=tracer.alias("session", self.session.id))
+            for call in calls:
+                call.trace_ctx = gather_span
         try:
             outcomes = yield Suspension(GatherCall(calls))
         finally:
             for key, target in entered:
                 self.session.exit_remote(self.peer.name, target, key[1])
+            if gather_span is not None:
+                tracer.end(gather_span)
         if isinstance(outcomes, BaseException):
             raise outcomes
         for (key, _target), outcome in zip(entered, outcomes):
@@ -476,10 +493,60 @@ class EvalContext:
         target: str,
         depth: int,
     ) -> Iterator[tuple[Substitution, ProofNode]]:
+        """Tracing wrapper around :meth:`_remote_solutions_impl`: one
+        ``negotiation.remote`` span covering the whole remote evaluation.
+        The span is made current only while the impl generator actually
+        runs — suspensions and yielded solutions restore the consumer's
+        context — so transport/verify events land under it without leaking
+        it into sibling goals."""
+        if _trace.ACTIVE is None:
+            yield from self._remote_solutions_impl(
+                goal, resolved, reduced, subst, target, depth)
+            return
+        tracer = _trace.ACTIVE
+        span = tracer.begin(
+            "negotiation.remote", peer=self.peer.name, target=target,
+            goal=str(reduced),
+            session=tracer.alias("session", self.session.id))
+        self._remote_span = span
+        source = self._remote_solutions_impl(
+            goal, resolved, reduced, subst, target, depth)
+        outcome = None
+        solutions = 0
+        try:
+            while True:
+                outer = tracer.set_current(span)
+                try:
+                    item = source.send(outcome)
+                except StopIteration:
+                    break
+                finally:
+                    tracer.set_current(outer)
+                outcome = None
+                if isinstance(item, Suspension):
+                    outcome = yield item
+                else:
+                    solutions += 1
+                    yield item
+        finally:
+            self._remote_span = None
+            tracer.end(span, solutions=solutions)
+
+    def _remote_solutions_impl(
+        self,
+        goal: Literal,
+        resolved: Literal,
+        reduced: Literal,
+        subst: Substitution,
+        target: str,
+        depth: int,
+    ) -> Iterator[tuple[Substitution, ProofNode]]:
         if self._gather_replies:
             prefetched = self._gather_replies.pop(
                 (target, canonical_literal(reduced)), None)
             if prefetched is not None:
+                if self._remote_span is not None:
+                    self._remote_span.attrs["prefetched"] = True
                 # Gather half already transmitted the query and logged it;
                 # replay its outcome through the same failure discipline the
                 # sequential path applies below.  Anything else (notably
@@ -491,14 +558,17 @@ class EvalContext:
                 except TransientNetworkError as error:
                     self.session.counters["network_failures"] += 1
                     self.session.log("gave-up", self.peer.name, target, str(error))
+                    self._note_branch_failure("transient", target)
                     return
                 except MessageTooLargeError as error:
                     self.session.counters["oversized_messages"] += 1
                     self.session.log("oversized", self.peer.name, target, str(error))
+                    self._note_branch_failure("oversized", target)
                     return
                 except SignatureError as error:
                     self.session.counters["corrupt_payloads"] += 1
                     self.session.log("corrupt", self.peer.name, target, str(error))
+                    self._note_branch_failure("corrupt", target)
                     return
                 yield from self._absorb_reply(goal, reduced, subst, target, reply)
                 return
@@ -521,7 +591,9 @@ class EvalContext:
                     # Event-driven mode: park this evaluation as a pending
                     # continuation; the scheduler resumes it with the reply
                     # (or with the exception the inline path would have seen).
-                    outcome = yield Suspension(RemoteCall(request, self.session))
+                    call = RemoteCall(request, self.session)
+                    call.trace_ctx = self._remote_span
+                    outcome = yield Suspension(call)
                     if isinstance(outcome, BaseException):
                         raise outcome
                     reply = outcome
@@ -530,23 +602,32 @@ class EvalContext:
             except TransientNetworkError as error:
                 self.session.counters["network_failures"] += 1
                 self.session.log("gave-up", self.peer.name, target, str(error))
+                self._note_branch_failure("transient", target)
                 return
             except MessageTooLargeError as error:
                 # Deterministic: the same query is oversized every time, so
                 # it is not a droppable transient and must not be retried.
                 self.session.counters["oversized_messages"] += 1
                 self.session.log("oversized", self.peer.name, target, str(error))
+                self._note_branch_failure("oversized", target)
                 return
             except SignatureError as error:
                 # Payload corrupted in transit and detected; retrying is the
                 # transport's call (it did not), re-deriving is ours: fail.
                 self.session.counters["corrupt_payloads"] += 1
                 self.session.log("corrupt", self.peer.name, target, str(error))
+                self._note_branch_failure("corrupt", target)
                 return
         finally:
             self.session.exit_remote(self.peer.name, target, goal_key)
 
         yield from self._absorb_reply(goal, reduced, subst, target, reply)
+
+    def _note_branch_failure(self, kind: str, target: str) -> None:
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("negotiation.branch_failed",
+                         parent=self._remote_span, kind=kind, target=target)
 
     def _issue_remote(
         self,
@@ -650,6 +731,12 @@ class EvalContext:
         if cached_verifications:
             self.session.counters["sig_cache_hits"] += cached_verifications
             self.engine.stats.sig_cache_hits += cached_verifications
+        tracer = _trace.ACTIVE
+        if tracer is not None and (disclosed or resolved_refs):
+            tracer.event("negotiation.verify", parent=self._remote_span,
+                         peer=self.peer.name, source=target,
+                         disclosed=len(disclosed), refs=len(resolved_refs),
+                         cached=cached_verifications)
         for credential in (*disclosed, *resolved_refs):
             overlay.add(credential)
             self.session.mark_holder(credential.serial, self.peer.name)

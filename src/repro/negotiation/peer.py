@@ -66,6 +66,7 @@ from repro.datalog.sld import Suspension, unify_literals
 from repro.datalog.substitution import Substitution
 from repro.negotiation.engine import EvalContext, drain_steps
 from repro.negotiation.session import Session
+from repro.obs import trace as _trace
 from repro.policy.pseudovars import bind_pseudovars, bind_pseudovars_in_literal
 from repro.policy.release import (
     credential_release_decisions,
@@ -244,6 +245,38 @@ class Peer:
         scheduler to satisfy; with ``suspendable=False`` the same code runs
         remote calls inline and never yields.  The generator's return value
         is the :class:`AnswerMessage`."""
+        if _trace.ACTIVE is None:
+            return self._answer_query_steps_impl(message, suspendable)
+        return self._traced_answer_steps(message, suspendable, _trace.ACTIVE)
+
+    def _traced_answer_steps(self, message: QueryMessage, suspendable: bool,
+                             tracer) -> "Iterable":
+        """Wrap the answer generator in a ``peer.answer`` span.  The span is
+        current only while the impl actually executes — each yielded
+        suspension hands the consumer's context back untouched."""
+        span = tracer.begin(
+            "peer.answer", peer=self.name, requester=message.sender,
+            goal=str(message.goal),
+            session=tracer.alias("session", message.session_id))
+        steps = self._answer_query_steps_impl(message, suspendable)
+        outcome = None
+        try:
+            while True:
+                previous = tracer.set_current(span)
+                try:
+                    item = steps.send(outcome)
+                except StopIteration as stop:
+                    reply = stop.value
+                    span.attrs["items"] = len(getattr(reply, "items", ()))
+                    return reply
+                finally:
+                    tracer.set_current(previous)
+                outcome = yield item
+        finally:
+            tracer.end(span)
+
+    def _answer_query_steps_impl(self, message: QueryMessage,
+                                 suspendable: bool = False):
         session = self._session(message.session_id, message.sender)
         requester = message.sender
         failure = AnswerMessage(
@@ -604,6 +637,16 @@ class Peer:
         solution = yield from context.prove_steps(goals)
         return solution is not None
 
+    def _note_release_decision(self, subject: str, requester: str,
+                               allowed: bool, detail: str) -> None:
+        """Trace one release-policy decision (paper §3.1: statements go out
+        only when their release policy admits the requester)."""
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("policy.release", peer=self.name,
+                         requester=requester, subject=subject,
+                         allowed=allowed, detail=detail)
+
     def _answer_releasable(
         self,
         answered: Literal,
@@ -660,6 +703,8 @@ class Peer:
                     allowed = yield from self._prove_obligations_steps(
                         obligations, requester, session, suspendable)
         session.cache_release(cache_key, allowed)
+        self._note_release_decision("answer", requester, allowed,
+                                    str(answered))
         return allowed
 
     def _credential_releasable(
@@ -693,6 +738,8 @@ class Peer:
                 allowed = True
                 break
         session.cache_release(cache_key, allowed)
+        self._note_release_decision("credential", requester, allowed,
+                                    str(credential.rule.head))
         return allowed
 
     # -- unsolicited disclosures (eager strategy) --------------------------------------------

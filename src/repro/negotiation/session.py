@@ -35,6 +35,14 @@ def next_session_id(prefix: str = "session") -> str:
     return f"{prefix}-{next(_session_counter)}"
 
 
+def reset_session_ids() -> None:
+    """Restart the process-wide session-id counter (see
+    :func:`repro.net.message.reset_message_ids` for why determinism tests
+    need this)."""
+    global _session_counter
+    _session_counter = itertools.count(1)
+
+
 @dataclass(frozen=True, slots=True)
 class TranscriptEvent:
     """One observable step of a negotiation."""

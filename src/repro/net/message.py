@@ -40,6 +40,16 @@ def next_message_id() -> int:
     return next(_message_counter)
 
 
+def reset_message_ids() -> None:
+    """Restart the process-wide message-id counter.
+
+    For determinism tests that compare two traced runs *in one process*:
+    message ids feed wire sizes (and thus simulated time), so both runs
+    must start from the same counter value."""
+    global _message_counter
+    _message_counter = itertools.count(1)
+
+
 def _utf8(text: str) -> bytes:
     return text.encode("utf-8")
 

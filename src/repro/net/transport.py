@@ -44,6 +44,14 @@ from repro.errors import (
 from repro.net.faults import FaultDecision, FaultPlan, tamper_message
 from repro.net.message import Message
 from repro.net.registry import PeerRegistry
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+# Wire-size histogram; observed only when push metrics are enabled (the
+# PUSH_ENABLED check keeps the default per-message cost at one bool test).
+_MESSAGE_BYTES = _metrics.global_registry().histogram(
+    "peertrust_message_bytes", buckets=_metrics.DEFAULT_BYTE_BUCKETS,
+    help="wire size of transmitted messages", labels=("kind",))
 
 # latency(sender, receiver, size_bytes) -> simulated milliseconds
 LatencyModel = Callable[[str, str, int], float]
@@ -202,6 +210,8 @@ class Transport:
 
         self.sessions = SessionTable(
             capacity=max_sessions, on_evict=self._on_session_evicted)
+        # Weakly tracked by the registry's sourced transport metrics.
+        _metrics.track_transport(self)
 
     # -- registration passthrough -------------------------------------------------
 
@@ -233,6 +243,26 @@ class Transport:
 
     # -- fault-aware single transmission ----------------------------------------------
 
+    def _note_transmission(self, message: Message, size: int,
+                           latency: float) -> None:
+        """Observability hook for one accounted transmission; near-free
+        unless tracing or push metrics are switched on."""
+        if _metrics.PUSH_ENABLED:
+            _MESSAGE_BYTES.labels(message.kind).observe(size)
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("transport.send", kind=message.kind,
+                         sender=message.sender, receiver=message.receiver,
+                         bytes=size, latency_ms=latency,
+                         msg=tracer.alias("msg", message.message_id))
+
+    def _note_fault(self, name: str, message: Message) -> None:
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event(name, kind=message.kind, sender=message.sender,
+                         receiver=message.receiver,
+                         msg=tracer.alias("msg", message.message_id))
+
     def _transmit(self, message: Message) -> Optional[FaultDecision]:
         """Account one transmission of ``message`` and apply the fault plan.
         Raises on size violation, crash, drop, or (caller-side) corruption
@@ -254,15 +284,18 @@ class Transport:
         # The message consumes bandwidth and time even when it is then lost.
         latency = self.latency(message.sender, message.receiver, size)
         self.stats.record(message, size, latency)
+        self._note_transmission(message, size, latency)
         self._advance(latency)
         if decision is not None and decision.crashed:
             self.stats.dropped += 1
+            self._note_fault("transport.crash", message)
             raise PeerUnavailableError(
                 f"{message.kind} lost: a crash window covers the "
                 f"{message.sender!r}->{message.receiver!r} link")
         if (decision is not None and decision.drop) or (
                 self.drop is not None and self.drop(message)):
             self.stats.dropped += 1
+            self._note_fault("transport.drop", message)
             raise TransientNetworkError(
                 f"{message.kind} from {message.sender!r} to "
                 f"{message.receiver!r} was dropped")
@@ -293,15 +326,18 @@ class Transport:
             delay += decision.extra_delay_ms
         latency = self.latency(message.sender, message.receiver, size)
         self.stats.record(message, size, latency)
+        self._note_transmission(message, size, latency)
         delay += latency
         if decision is not None and decision.crashed:
             self.stats.dropped += 1
+            self._note_fault("transport.crash", message)
             return TransmissionOutcome(decision, delay, PeerUnavailableError(
                 f"{message.kind} lost: a crash window covers the "
                 f"{message.sender!r}->{message.receiver!r} link"))
         if (decision is not None and decision.drop) or (
                 self.drop is not None and self.drop(message)):
             self.stats.dropped += 1
+            self._note_fault("transport.drop", message)
             return TransmissionOutcome(decision, delay, TransientNetworkError(
                 f"{message.kind} from {message.sender!r} to "
                 f"{message.receiver!r} was dropped"))
@@ -311,6 +347,7 @@ class Transport:
         """Model in-transit payload damage: tamper a carried credential (the
         receiver's verification then rejects it), or — with nothing to
         tamper — fail deterministically at the checksum edge."""
+        self._note_fault("transport.corrupt", message)
         damaged = tamper_message(message)
         if damaged is None:
             raise SignatureError(
@@ -365,6 +402,11 @@ class Transport:
                     self.retry.backoff_ms(attempt - 1, self._backoff_rng))
                 self.stats.retries += 1
                 self._count_for_session(message, "retries")
+                tracer = _trace.ACTIVE
+                if tracer is not None:
+                    tracer.event("transport.retry", kind=message.kind,
+                                 attempt=attempt,
+                                 msg=tracer.alias("msg", message.message_id))
             self._check_deadline(message)
             try:
                 return attempt_once()

@@ -1,0 +1,32 @@
+"""Unified observability: span tracing, metrics, and timeline rendering.
+
+Three sub-modules, all dependency-free (stdlib only) so every layer of the
+reproduction can import them without cycles:
+
+- :mod:`repro.obs.trace` — a simulated-clock-aware span tracer.  Off by
+  default: instrumented call sites guard on ``trace.ACTIVE is not None``
+  (one global load + identity check), so the disabled cost is unmeasurable
+  (bench_obs.py gates it).  When enabled, the same seed produces a
+  byte-identical JSONL trace — tracing doubles as a determinism oracle.
+- :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
+  histograms with explicit buckets; labelled families; snapshot/delta
+  protocol; Prometheus-style text rendering).  The pre-existing stats
+  surfaces (``INTERN_STATS``, ``SIGNATURE_CACHE_STATS``, ``SLDStats``,
+  ``TransportStats``) publish through it while keeping their legacy
+  attribute access intact.
+- :mod:`repro.obs.timeline` — renders an exported trace as a sim-time
+  timeline/flamegraph (``peertrust trace-view``).
+"""
+
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.trace import Span, Tracer, activate, deactivate, tracing
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "activate",
+    "deactivate",
+    "global_registry",
+    "tracing",
+]

@@ -1,0 +1,159 @@
+"""Render an exported JSONL trace as a sim-time timeline / flamegraph.
+
+``repro.cli trace-view out.jsonl`` prints one line per span — indented by
+tree depth, with an ASCII bar positioned over the run's simulated-time
+axis — and one line per event (a ``·`` marker at its instant).  Because
+span timestamps come from the scheduler's simulated clock, the rendering
+is a faithful picture of *simulated* concurrency: two exchanges whose bars
+overlap really were in flight together.
+
+``--summary`` aggregates instead: per span-name count/total/min/max
+duration and per event-name counts — the quick "where did sim-time go"
+view for a big trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+_BAR = "━"        # ━  span extent
+_MARK = "·"       # ·  event instant
+_OPEN_END = "╴"   # ╴  span never finished (end = null)
+
+
+def load_records(path) -> list[dict]:
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _sort_key(record: dict):
+    at = record["start"] if record["t"] == "span" else record["at"]
+    return (at, record["id"])
+
+
+def _build_tree(records: Iterable[dict]):
+    """Return (roots, children) with children ordered by time then id."""
+    children: dict[Optional[int], list[dict]] = {}
+    by_id = {record["id"]: record for record in records}
+    for record in by_id.values():
+        parent = record["parent"]
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan (truncated trace): promote to root
+        children.setdefault(parent, []).append(record)
+    for bucket in children.values():
+        bucket.sort(key=_sort_key)
+    return children.get(None, []), children
+
+
+def _span_bounds(records) -> tuple[float, float]:
+    lo, hi = None, None
+    for record in records:
+        start = record["start"] if record["t"] == "span" else record["at"]
+        end = record.get("end")
+        end = start if end is None else end
+        lo = start if lo is None or start < lo else lo
+        hi = end if hi is None or end > hi else hi
+    if lo is None:
+        return 0.0, 0.0
+    return lo, hi
+
+
+def _attr_text(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    body = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    return f"  [{body}]"
+
+
+def render_timeline(records: list[dict], width: int = 64) -> str:
+    """The tree view: indented labels on the left, bars on the right."""
+    if not records:
+        return "(empty trace)\n"
+    roots, children = _build_tree(records)
+    lo, hi = _span_bounds(records)
+    extent = hi - lo or 1.0
+
+    def column(t: float) -> int:
+        return min(width - 1, int((t - lo) / extent * width))
+
+    label_rows: list[str] = []
+    bar_rows: list[str] = []
+
+    def emit(record: dict, depth: int) -> None:
+        indent = "  " * depth
+        attrs = _attr_text(record.get("attrs", {}))
+        if record["t"] == "span":
+            start, end = record["start"], record.get("end")
+            shown_end = hi if end is None else end
+            first, last = column(start), column(shown_end)
+            bar = [" "] * width
+            for i in range(first, max(first, last) + 1):
+                bar[i] = _BAR
+            if end is None:
+                bar[max(first, last)] = _OPEN_END
+            duration = "open" if end is None else f"{end - start:g}ms"
+            label_rows.append(
+                f"{indent}{record['name']} ({duration}){attrs}")
+            bar_rows.append("".join(bar))
+        else:
+            bar = [" "] * width
+            bar[column(record["at"])] = _MARK
+            label_rows.append(
+                f"{indent}{_MARK} {record['name']} @{record['at']:g}{attrs}")
+            bar_rows.append("".join(bar))
+        for child in children.get(record["id"], ()):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+
+    label_width = max(len(row) for row in label_rows)
+    header = (f"sim-time {lo:g}..{hi:g} ms "
+              f"({len(records)} records)\n")
+    ruler = " " * label_width + "  " + "-" * width + "\n"
+    body = "".join(f"{label.ljust(label_width)}  {bar}\n"
+                   for label, bar in zip(label_rows, bar_rows))
+    return header + ruler + body
+
+
+def render_summary(records: list[dict]) -> str:
+    """Aggregate per-name durations (spans) and counts (events)."""
+    if not records:
+        return "(empty trace)\n"
+    spans: dict[str, list[float]] = {}
+    open_spans = 0
+    events: dict[str, int] = {}
+    for record in records:
+        if record["t"] == "span":
+            end = record.get("end")
+            if end is None:
+                open_spans += 1
+                continue
+            spans.setdefault(record["name"], []).append(end - record["start"])
+        else:
+            events[record["name"]] = events.get(record["name"], 0) + 1
+
+    lines = [f"{len(records)} records "
+             f"({sum(len(v) for v in spans.values())} finished spans, "
+             f"{open_spans} open, {sum(events.values())} events)"]
+    if spans:
+        lines.append("")
+        lines.append(f"{'span':<28}{'count':>7}{'total ms':>12}"
+                     f"{'min':>9}{'max':>9}")
+        for name in sorted(spans, key=lambda n: -sum(spans[n])):
+            durations = spans[name]
+            lines.append(f"{name:<28}{len(durations):>7}"
+                         f"{sum(durations):>12g}"
+                         f"{min(durations):>9g}{max(durations):>9g}")
+    if events:
+        lines.append("")
+        lines.append(f"{'event':<28}{'count':>7}")
+        for name in sorted(events, key=lambda n: (-events[n], n)):
+            lines.append(f"{name:<28}{events[name]:>7}")
+    return "\n".join(lines) + "\n"

@@ -26,6 +26,7 @@ from repro.errors import NetworkError, SignatureError, UnknownPeerError
 from repro.negotiation.result import NegotiationResult
 from repro.negotiation.session import next_session_id
 from repro.net.message import QueryMessage
+from repro.obs import trace as _trace
 from repro.runtime.scheduler import EventScheduler, RequestExchange, scheduler_for
 
 
@@ -80,12 +81,22 @@ class _NegotiationDriver:
         self.start_ms = 0.0
         self.end_ms = 0.0
         self.done = False
+        self.span = None
 
     def start(self) -> None:
         self.start_ms = self.transport.now_ms
         self.session.log("initiate", self.requester.name, self.provider_name,
                          str(self.goal))
-        RequestExchange(
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            # Root of the whole negotiation tree: every exchange, peer
+            # evaluation, and transport event reconstructs under it.
+            self.span = tracer.begin(
+                "negotiation", parent=None,
+                requester=self.requester.name, provider=self.provider_name,
+                goal=str(self.goal),
+                session=tracer.alias("session", self.session.id))
+        exchange = RequestExchange(
             self.scheduler,
             QueryMessage(
                 sender=self.requester.name,
@@ -94,7 +105,12 @@ class _NegotiationDriver:
                 goal=self.goal,
             ),
             on_outcome=self.finished,
-        ).start()
+        )
+        if tracer is not None:
+            with tracer.use(self.span):
+                exchange.start()
+        else:
+            exchange.start()
 
     def finished(self, outcome: object) -> None:
         self.outcome = outcome
@@ -162,6 +178,10 @@ class _NegotiationDriver:
                                  self.requester.name, str(self.goal))
             return result
         finally:
+            tracer = _trace.ACTIVE
+            if tracer is not None and self.span is not None:
+                tracer.end(self.span, granted=result.granted,
+                           failure_kind=result.failure_kind)
             _finish_session(self.transport, self.session)
 
 

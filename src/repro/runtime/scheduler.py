@@ -49,6 +49,7 @@ from repro.errors import (
     UnknownPeerError,
 )
 from repro.net.message import AnswerMessage, Message, QueryMessage
+from repro.obs import trace as _trace
 
 
 class EventScheduler:
@@ -102,7 +103,13 @@ class EventScheduler:
     def schedule(self, delay_ms: float, label: str,
                  action: Callable[[], None]) -> None:
         due = self.transport.now_ms + delay_ms
-        heapq.heappush(self._events, (due, next(self._seq), label, action))
+        # The event carries the span that was current when it was scheduled;
+        # dispatch restores it, so causality survives the trip through the
+        # heap.  Sort order is unaffected: seq is unique, later fields never
+        # compare.
+        tracer = _trace.ACTIVE
+        ctx = tracer.current if tracer is not None else None
+        heapq.heappush(self._events, (due, next(self._seq), label, action, ctx))
         depth = len(self._events)
         if depth > self.transport.stats.max_queue_depth:
             self.transport.stats.max_queue_depth = depth
@@ -115,13 +122,23 @@ class EventScheduler:
         continuations as values)."""
         processed = 0
         while self._events:
-            due, _seq, label, action = heapq.heappop(self._events)
+            due, _seq, label, action, ctx = heapq.heappop(self._events)
             if due > self.transport.now_ms:
                 self.transport.now_ms = due
             self.transport.stats.events_processed += 1
             processed += 1
             self.trace.append(f"{due:.3f} {label}")
-            action()
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                previous = tracer.set_current(ctx)
+                tracer.event("scheduler.dispatch", label=label,
+                             queue=len(self._events))
+                try:
+                    action()
+                finally:
+                    tracer.set_current(previous)
+            else:
+                action()
             if processed >= max_events:
                 raise RuntimeError(
                     f"event loop exceeded {max_events} events without "
@@ -150,6 +167,25 @@ class EventScheduler:
         exchange.finish(message)
 
 
+def _under_span(method):
+    """Run an exchange callback with the exchange's span as the current
+    span, so spans begun inside it (peer evaluation) and events it schedules
+    parent under the RPC rather than under whatever event happened to
+    dispatch it."""
+
+    def wrapper(self, *args):
+        tracer = _trace.ACTIVE
+        if tracer is None or self.span is None:
+            return method(self, *args)
+        previous = tracer.set_current(self.span)
+        try:
+            return method(self, *args)
+        finally:
+            tracer.set_current(previous)
+
+    return wrapper
+
+
 class RequestExchange:
     """One RPC unrolled into events, mirroring ``Transport.request`` +
     ``Transport._with_retries`` step for step.  ``on_outcome`` receives the
@@ -164,15 +200,24 @@ class RequestExchange:
         self.on_outcome = on_outcome
         self.attempt = 0
         self.completed = False
+        self.span = None
         retry = self.transport.retry
         self.attempts_allowed = retry.max_attempts if retry is not None else 1
 
     # -- attempt lifecycle -------------------------------------------------------
 
     def start(self) -> None:
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            self.span = tracer.begin(
+                "rpc", kind=self.message.kind,
+                sender=self.message.sender, receiver=self.message.receiver,
+                msg=tracer.alias("msg", self.message.message_id),
+                session=tracer.alias("session", self.message.session_id))
         self.scheduler.register(self)
         self._attempt_action()
 
+    @_under_span
     def _attempt_action(self) -> None:
         """One delivery attempt, at the current clock (the retry event's due
         time already includes the failed transmission's delay + backoff)."""
@@ -216,6 +261,12 @@ class RequestExchange:
             transport.stats.retries += 1
             transport._count_for_session(self.message, "retries")
             transport.stats.simulated_ms += backoff
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event("transport.retry", parent=self.span,
+                             kind=self.message.kind, attempt=self.attempt + 1,
+                             backoff_ms=backoff,
+                             msg=tracer.alias("msg", self.message.message_id))
             self.scheduler.schedule(
                 delay_ms + backoff,
                 self.scheduler._alias(self.message) + " retry",
@@ -248,6 +299,7 @@ class RequestExchange:
             return False
         return type(receiver)._handle_query is Peer._handle_query
 
+    @_under_span
     def _deliver_request(self, decision) -> None:
         """The request arrived: dedupe against the session reply cache, then
         run the handler — suspendably for queries, inline otherwise."""
@@ -312,6 +364,7 @@ class RequestExchange:
         else:
             self.finish(error)
 
+    @_under_span
     def _send_reply(self, reply: Message) -> None:
         transport = self.transport
         try:
@@ -359,6 +412,11 @@ class RequestExchange:
             return
         self.completed = True
         self.scheduler.unregister(self)
+        tracer = _trace.ACTIVE
+        if tracer is not None and self.span is not None:
+            tracer.end(self.span, attempts=self.attempt,
+                       ok=isinstance(outcome, Message),
+                       outcome=type(outcome).__name__)
         self.on_outcome(outcome)
 
 
@@ -396,11 +454,20 @@ class GatherExchange:
     def _launch_next(self) -> None:
         index = self._launched
         self._launched += 1
-        RequestExchange(
-            self.scheduler, self.calls[index].message,
+        call = self.calls[index]
+        exchange = RequestExchange(
+            self.scheduler, call.message,
             on_outcome=lambda outcome, index=index: self._landed_at(
-                index, outcome),
-        ).start()
+                index, outcome))
+        tracer = _trace.ACTIVE
+        ctx = getattr(call, "trace_ctx", None)
+        if tracer is not None and ctx is not None:
+            # Parent the RPC under the span that issued the call (the gather
+            # batch), not under whichever event freed the window slot.
+            with tracer.use(ctx):
+                exchange.start()
+        else:
+            exchange.start()
 
     def _landed_at(self, index: int, outcome: object) -> None:
         self.outcomes[index] = outcome
@@ -431,29 +498,46 @@ class EvaluationTask:
         self.generator = generator
         self.on_done = on_done
         self.on_error = on_error
+        # The span current at construction (usually the RPC being answered):
+        # every resumption of the generator runs under it, however the
+        # resuming event was parented.
+        tracer = _trace.ACTIVE
+        self._ctx = tracer.current if tracer is not None else None
 
     def start(self) -> None:
         self._step(None)
 
     def _step(self, value: object) -> None:
+        tracer = _trace.ACTIVE
+        previous = tracer.set_current(self._ctx) if tracer is not None else None
         try:
-            item = self.generator.send(value)
-        except StopIteration as stop:
-            self.on_done(stop.value)
-            return
-        except Exception as error:  # noqa: BLE001 - routed to the requester
-            self.on_error(error)
-            return
-        assert isinstance(item, Suspension), item
-        call = item.payload
-        from repro.negotiation.engine import GatherCall
+            try:
+                item = self.generator.send(value)
+            except StopIteration as stop:
+                self.on_done(stop.value)
+                return
+            except Exception as error:  # noqa: BLE001 - routed to the requester
+                self.on_error(error)
+                return
+            assert isinstance(item, Suspension), item
+            call = item.payload
+            from repro.negotiation.engine import GatherCall
 
-        if isinstance(call, GatherCall):
-            GatherExchange(self.scheduler, call.calls,
-                           on_outcome=self._step).start()
-            return
-        RequestExchange(self.scheduler, call.message,
-                        on_outcome=self._step).start()
+            if isinstance(call, GatherCall):
+                GatherExchange(self.scheduler, call.calls,
+                               on_outcome=self._step).start()
+                return
+            ctx = getattr(call, "trace_ctx", None)
+            exchange = RequestExchange(self.scheduler, call.message,
+                                       on_outcome=self._step)
+            if tracer is not None and ctx is not None:
+                with tracer.use(ctx):
+                    exchange.start()
+            else:
+                exchange.start()
+        finally:
+            if tracer is not None:
+                tracer.set_current(previous)
 
 
 def scheduler_for(transport) -> EventScheduler:

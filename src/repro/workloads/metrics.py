@@ -12,7 +12,19 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.negotiation.result import NegotiationResult
+from repro.obs.metrics import DEFAULT_MS_BUCKETS, global_registry
 from repro.workloads.generator import Workload
+
+# Per-negotiation distributions, fed once per measure_negotiation call —
+# cheap enough to observe unconditionally (two histogram inserts per run).
+_NEGOTIATION_MS = global_registry().histogram(
+    "peertrust_negotiation_sim_ms",
+    help="simulated duration of one measured negotiation",
+    buckets=DEFAULT_MS_BUCKETS)
+_NEGOTIATION_MESSAGES = global_registry().histogram(
+    "peertrust_negotiation_messages",
+    help="wire messages per measured negotiation",
+    buckets=(2, 4, 8, 16, 32, 64, 128))
 
 
 @dataclass
@@ -47,7 +59,7 @@ class MetricsReport:
             "queries": self.queries,
             "disclosures": self.disclosures,
             "loops": self.loops_detected,
-            **self.extra,
+            **{k: v for k, v in self.extra.items() if k != "metrics_delta"},
         }
 
 
@@ -55,18 +67,26 @@ def measure_negotiation(
     workload: Workload,
     strategy: str = "parsimonious",
     runner: Optional[Callable[[], NegotiationResult]] = None,
+    capture_registry: bool = False,
 ) -> tuple[NegotiationResult, MetricsReport]:
     """Run ``workload`` (or a custom ``runner``) and collect metrics.
 
     Transport counters are reset before the run so the report reflects this
-    negotiation only.
+    negotiation only.  With ``capture_registry`` the global metrics
+    registry is snapshotted around the run and the per-run delta lands in
+    ``report.extra["metrics_delta"]`` (kept out of :meth:`MetricsReport.row`
+    so benchmark tables stay flat).
     """
     transport = workload.world.transport
     transport.reset_stats()
+    registry = global_registry()
+    before = registry.snapshot() if capture_registry else None
     started = time.perf_counter()
     result = runner() if runner is not None else workload.run(strategy)
     wall = time.perf_counter() - started
     stats = transport.stats
+    _NEGOTIATION_MS.observe(stats.simulated_ms)
+    _NEGOTIATION_MESSAGES.observe(stats.messages)
     counters = result.session.counters if result.session else {}
     report = MetricsReport(
         granted=result.granted,
@@ -83,4 +103,6 @@ def measure_negotiation(
         release_checks=counters.get("release_checks", 0),
         description=workload.description,
     )
+    if before is not None:
+        report.extra["metrics_delta"] = registry.delta(before)
     return result, report

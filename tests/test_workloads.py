@@ -93,6 +93,25 @@ class TestMetrics:
                                            workload.goal))
         assert result.granted and report.strategy == "eager"
 
+    def test_capture_registry_delta(self):
+        workload = build_delegation_chain(2, key_bits=KEY_BITS)
+        _, report = measure_negotiation(workload, capture_registry=True)
+        delta = report.extra["metrics_delta"]
+        assert delta["peertrust_negotiation_sim_ms_count"] == 1
+        assert delta["peertrust_negotiation_messages_count"] == 1
+        # The delta stays out of the flat benchmark row.
+        assert "metrics_delta" not in report.row()
+
+    def test_negotiation_histograms_observed(self):
+        from repro.obs.metrics import global_registry
+
+        workload = build_delegation_chain(2, key_bits=KEY_BITS)
+        before = global_registry().snapshot()
+        measure_negotiation(workload)
+        delta = global_registry().delta(before)
+        assert delta["peertrust_negotiation_sim_ms_count"] == 1
+        assert delta["peertrust_negotiation_sim_ms_sum"] > 0
+
 
 class TestTableRendering:
     def test_format_table(self):

@@ -28,10 +28,8 @@ import time
 from pathlib import Path
 
 from repro.bench.reporting import format_table
-from repro.datalog.terms import reset_fresh_variables
-from repro.negotiation.session import reset_session_ids
+from repro.determinism import reset_all
 from repro.net.faults import FaultPlan, FaultRule
-from repro.net.message import reset_message_ids
 from repro.net.transport import constant_latency
 from repro.obs.trace import Tracer, tracing
 from repro.scenarios.elearn import build_scenario1, run_discount_negotiation
@@ -91,9 +89,7 @@ DISABLED_CASES = (
 def _traced_scenario2(faults: bool):
     """One traced free enrollment from reset id spaces; returns the JSONL
     text and the wall seconds of the negotiation itself."""
-    reset_message_ids()
-    reset_session_ids()
-    reset_fresh_variables()
+    reset_all()
     scenario = build_scenario2(key_bits=KEY_BITS)
     transport = scenario.transport
     transport.latency = constant_latency(1.0)

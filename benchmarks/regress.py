@@ -34,6 +34,7 @@ from bench_hotpaths import REPORT_PATH, run_suite, summary_rows  # noqa: E402
 import bench_concurrency  # noqa: E402
 import bench_fanout  # noqa: E402
 import bench_obs  # noqa: E402
+import bench_persistence  # noqa: E402
 
 from repro.bench.reporting import format_table  # noqa: E402
 
@@ -155,6 +156,28 @@ def main(argv=None) -> int:
     else:
         failures.append(f"no observability baseline at {obs_baseline_path}; "
                         "run bench_obs.py first")
+
+    # E17 persistence gate: store-overhead rows are t_off/t_on wall ratios
+    # (near 1.0 — a collapse means per-event persistence started dominating
+    # negotiations), warm_restart_tables must keep beating cold fixpoint
+    # re-derivation, and warm_restart_deltas is a deterministic wire-size
+    # ratio whose floor catches a broken ledger restore.
+    persist_baseline_path = bench_persistence.REPORT_PATH
+    if persist_baseline_path.exists():
+        persist_baseline = load_baseline(persist_baseline_path)
+        persist_current = [
+            {"benchmark": row["benchmark"], "speedup": row["speedup"]}
+            for row in bench_persistence.run_suite(quick=args.quick)
+        ]
+        persist_rows, persist_failures = compare(persist_baseline,
+                                                 persist_current)
+        print(format_table(persist_rows,
+                           title="persistence (E17) regression check"))
+        rows += persist_rows
+        failures += persist_failures
+    else:
+        failures.append(f"no persistence baseline at {persist_baseline_path}; "
+                        "run bench_persistence.py first")
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps({
         "baseline": str(args.baseline),

@@ -60,9 +60,11 @@ def _obs_scope(args, world):
                 install_default_collectors,
             )
 
+            from repro.storage.atomic import atomic_write_text
+
             install_default_collectors()
-            with open(metrics_path, "w") as handle:
-                handle.write(global_registry().render_prometheus())
+            atomic_write_text(metrics_path,
+                              global_registry().render_prometheus())
 
 
 def _build_demo_world(name: str):
@@ -121,6 +123,28 @@ def _configure_chaos(world, args) -> None:
         world.transport.max_in_flight = max_in_flight
     if getattr(args, "disclosure_deltas", False):
         world.transport.disclosure_deltas = True
+
+
+@contextmanager
+def _storage_scope(world, args):
+    """Attach per-peer state stores for one CLI run when requested.
+
+    ``--store-backend durable --state-dir DIR`` gives every peer a durable
+    store under ``DIR/<peer>/``, so the run's wallets, session ledgers, and
+    cached replies survive a crash (and a rerun pointed at the same
+    directory starts warm).  ``--store-backend memory`` exercises the same
+    write-through paths without touching disk.  Stores are checkpointed and
+    closed on the way out."""
+    backend = getattr(args, "store_backend", None)
+    if not backend:
+        yield
+        return
+    world.attach_state_stores(backend,
+                              state_dir=getattr(args, "state_dir", None))
+    try:
+        yield
+    finally:
+        world.detach_state_stores()
 
 
 def _print_cache_stats(out, session=None) -> None:
@@ -251,7 +275,7 @@ def cmd_lint(args, out) -> int:
 def cmd_demo(args, out) -> int:
     world, (requester, provider, goal) = _build_demo_world(args.name)
     _configure_chaos(world, args)
-    with _obs_scope(args, world):
+    with _obs_scope(args, world), _storage_scope(world, args):
         return _run_negotiation(world, requester, provider, goal,
                                 args.strategy, out,
                                 deadline_ms=args.deadline_ms,
@@ -273,7 +297,7 @@ def cmd_negotiate(args, out) -> int:
 
     world = load_world(args.world)
     _configure_chaos(world, args)
-    with _obs_scope(args, world):
+    with _obs_scope(args, world), _storage_scope(world, args):
         return _run_negotiation(world, args.requester, args.provider,
                                 args.goal, args.strategy, out,
                                 deadline_ms=args.deadline_ms,
@@ -389,6 +413,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write a Prometheus-style text dump of the "
                                 "metrics registry after the run")
 
+    def add_storage_options(sub) -> None:
+        group = sub.add_argument_group(
+            "durable state", "per-peer state stores and crash recovery")
+        group.add_argument("--store-backend", default=None,
+                           choices=("memory", "durable"), metavar="BACKEND",
+                           help="attach a state store to every peer: "
+                                "'memory' (write-through, process-local) or "
+                                "'durable' (journal + snapshot on disk; "
+                                "requires --state-dir)")
+        group.add_argument("--state-dir", default=None, metavar="DIR",
+                           help="directory for durable per-peer state "
+                                "(one subdirectory per peer)")
+
     p = subparsers.add_parser("demo", help="run one of the paper scenarios")
     p.add_argument("name", choices=DEMOS)
     p.add_argument("--strategy", default="parsimonious",
@@ -396,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_chaos_options(p)
     add_stats_option(p)
     add_obs_options(p)
+    add_storage_options(p)
     p.set_defaults(handler=cmd_demo)
 
     p = subparsers.add_parser("save-demo", help="snapshot a demo world to JSON")
@@ -413,6 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_chaos_options(p)
     add_stats_option(p)
     add_obs_options(p)
+    add_storage_options(p)
     p.set_defaults(handler=cmd_negotiate)
 
     p = subparsers.add_parser("query", help="evaluate a goal as one peer")

@@ -9,6 +9,11 @@ The store deliberately does *not* verify on insert — insertion happens
 either for self-issued credentials or after the negotiation layer has
 verified an incoming disclosure; keeping verification at the trust boundary
 (one place) avoids double work and split policy.
+
+Persistence: a *sink* (see :class:`repro.storage.recovery.StoreSink`) may
+be bound, after which every insert/removal is mirrored to a state store as
+it happens.  Unbound (the default) there is no overhead beyond one ``None``
+check, and no import of the storage layer at all.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ class CredentialStore:
     def __init__(self, credentials: Optional[Iterable[Credential]] = None) -> None:
         self._by_serial: dict[str, Credential] = {}
         self._by_indicator: dict[Indicator, list[Credential]] = defaultdict(list)
+        self._sink = None  # optional write-through persistence sink
         if credentials:
             for credential in credentials:
                 self.add(credential)
@@ -40,6 +46,8 @@ class CredentialStore:
             return False
         self._by_serial[credential.serial] = credential
         self._by_indicator[credential.rule.head.indicator].append(credential)
+        if self._sink is not None:
+            self._sink.added(credential)
         return True
 
     def add_all(self, credentials: Iterable[Credential]) -> int:
@@ -51,7 +59,31 @@ class CredentialStore:
             return False
         bucket = self._by_indicator[credential.rule.head.indicator]
         bucket.remove(credential)
+        if self._sink is not None:
+            self._sink.removed(serial)
         return True
+
+    # -- persistence ----------------------------------------------------------
+
+    def bind_sink(self, sink, replay: bool = True) -> None:
+        """Mirror every future insert/removal into ``sink``.  With
+        ``replay`` the current contents are pushed through first, so
+        binding mid-run snapshots what the store already holds."""
+        self._sink = sink
+        if replay:
+            for credential in self._by_serial.values():
+                sink.added(credential)
+
+    def unbind_sink(self) -> None:
+        self._sink = None
+
+    def clear(self) -> None:
+        """Empty the store *without* notifying any sink: this models state
+        loss (a crashed process's heap), not deletion — a bound durable
+        store must keep its copy so recovery can restore from it.  Crash
+        paths unbind first; see :func:`repro.storage.recovery.crash_peer`."""
+        self._by_serial.clear()
+        self._by_indicator.clear()
 
     # -- queries ---------------------------------------------------------------
 

@@ -314,6 +314,10 @@ class SLDEngine:
         # The inner dict preserves insertion order for fair replay and makes
         # duplicate detection O(1) instead of a rescan per recorded answer.
         self._tables: dict[tuple, dict[tuple, tuple[Literal, ProofNode]]] = {}
+        # Call-pattern key -> the resolved goal it was built for; lets
+        # export_tables() write keys in a textual, hash-seed-independent
+        # form that import_tables() can recanonicalise after a restart.
+        self._table_goals: dict[tuple, Literal] = {}
         self._active: set[tuple] = set()
         self._completed: set[tuple] = set()
         self._retained: frozenset[tuple] = frozenset()
@@ -499,6 +503,7 @@ class SLDEngine:
             self._kb_generation = generation
         elif not self.retain_tables:
             self._tables.clear()
+            self._table_goals.clear()
             self._completed.clear()
         self._retained = frozenset(self._completed)
 
@@ -642,7 +647,11 @@ class SLDEngine:
 
         self._active.add(key)
         try:
-            table = self._tables.setdefault(key, {}) if self.tabled else None
+            if self.tabled:
+                table = self._tables.setdefault(key, {})
+                self._table_goals.setdefault(key, resolved_goal)
+            else:
+                table = None
             for rule in list(self.kb.rules_for(resolved_goal)):
                 self.stats.resolutions += 1
                 if self.reorder_bodies and len(rule.body) > 1:
@@ -760,6 +769,70 @@ class SLDEngine:
         public for callers that want a cold engine regardless.
         """
         self._tables.clear()
+        self._table_goals.clear()
         self._completed.clear()
         self._retained = frozenset()
         self._kb_generation = self.kb.generation
+
+    def kb_fingerprint(self) -> str:
+        """Content hash of the current rule set.  Generation counters are
+        per-process and restart at zero, so exported tables carry this
+        instead: a restarted engine only accepts tables built over an
+        identical knowledge base."""
+        import hashlib
+
+        text = "\n".join(sorted(str(rule) for rule in self.kb.rules()))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def export_tables(self) -> dict:
+        """Snapshot the *completed* answer tables as plain data (textual
+        goals/answers plus proof trees via :mod:`repro.storage.codec`), for
+        persistence in a state store.  In-progress tables are skipped: they
+        are unsound to replay as if saturated.
+
+        Proof trees are pool-encoded (``"proofs"`` holds the node pool,
+        answers are node indices) so the heavy structural sharing of tabled
+        proof DAGs survives serialisation instead of exploding
+        combinatorially.  Each answer literal *is* its proof root's goal,
+        so rows carry only the index — the importer recovers the answer
+        from the decoded proof without a second parse."""
+        from repro.storage.codec import ProofEncoder
+
+        encoder = ProofEncoder()
+        tables: dict[str, list] = {}
+        for key in self._completed:
+            goal = self._table_goals.get(key)
+            table = self._tables.get(key)
+            if goal is None or table is None:
+                continue
+            tables[str(goal)] = [
+                encoder.encode(proof) for _answer, proof in table.values()
+            ]
+        return {"kb_fingerprint": self.kb_fingerprint(),
+                "proofs": encoder.nodes, "tables": tables}
+
+    def import_tables(self, data: dict) -> int:
+        """Restore tables exported by :meth:`export_tables` into this
+        engine; returns how many call patterns were adopted.  A knowledge
+        base fingerprint mismatch adopts nothing — stale memo tables are
+        silently discarded rather than trusted."""
+        from repro.datalog.parser import parse_literal
+        from repro.storage.codec import ProofDecoder
+
+        if not self.tabled or data.get("kb_fingerprint") != self.kb_fingerprint():
+            return 0
+        decoder = ProofDecoder(data.get("proofs", []))
+        adopted = 0
+        for goal_text, rows in data.get("tables", {}).items():
+            goal = parse_literal(goal_text)
+            key = canonical_literal(goal)
+            table = self._tables.setdefault(key, {})
+            self._table_goals.setdefault(key, goal)
+            for proof_index in rows:
+                proof = decoder.decode(proof_index)
+                answer = proof.goal
+                table[canonical_literal(answer)] = (answer, proof)
+            self._completed.add(key)
+            adopted += 1
+        self._kb_generation = self.kb.generation
+        return adopted

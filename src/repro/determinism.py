@@ -1,0 +1,27 @@
+"""One switch for every process-wide counter that feeds identifiers.
+
+The byte-identical-trace contract (CI's trace-determinism job) holds only
+if every id a trace can contain restarts from the same point: message ids,
+session ids, fresh-variable indices — and now store transaction ids.  Each
+counter has its own ``reset_*`` for callers that really want just one, but
+test harnesses and determinism checks should call :func:`reset_all` so a
+counter added later (like the storage layer's txn ids) cannot silently
+desynchronise a suite that predates it.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.terms import reset_fresh_variables
+from repro.negotiation.session import reset_session_ids
+from repro.net.message import reset_message_ids
+from repro.storage.store import reset_txn_ids
+
+__all__ = ["reset_all"]
+
+
+def reset_all() -> None:
+    """Restart every process-wide id counter."""
+    reset_message_ids()
+    reset_session_ids()
+    reset_fresh_variables()
+    reset_txn_ids()

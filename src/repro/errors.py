@@ -159,3 +159,10 @@ class PolicyError(PeerTrustError):
 
 class RDFError(PeerTrustError):
     """Raised when RDF input cannot be parsed or mapped to facts."""
+
+
+class StorageError(PeerTrustError):
+    """Raised for state-store failures: an unknown backend name, a corrupt
+    snapshot file, or an operation on a closed store.  A torn trailing
+    journal line is *not* an error — recovery discards it (the crash
+    interrupted that append) and reports it in the store's recovery stats."""

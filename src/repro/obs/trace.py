@@ -213,10 +213,12 @@ class Tracer:
                        for record in self.all_records())
 
     def export(self, path) -> int:
-        """Write the JSONL trace to ``path``; returns the record count."""
-        text = self.to_jsonl()
-        with open(path, "w") as handle:
-            handle.write(text)
+        """Write the JSONL trace to ``path`` (atomically — a crashed or
+        interrupted run leaves the previous file, never a torn one);
+        returns the record count."""
+        from repro.storage.atomic import atomic_write_text
+
+        atomic_write_text(path, self.to_jsonl())
         return len(self.all_records())
 
 

@@ -345,8 +345,7 @@ class RequestExchange:
     def _evaluation_done(self, reply: Message, decision) -> None:
         transport = self.transport
         message = self.message
-        cache = transport._reply_cache.setdefault(message.session_id, {})
-        cache[message.dedup_key] = reply
+        transport._cache_reply(message, reply)
         if decision is not None and decision.duplicate:
             # The network delivered a second copy of the request: account
             # it; the (now populated) reply cache suppresses re-execution.

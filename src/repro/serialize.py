@@ -214,8 +214,10 @@ def world_from_dict(data: dict) -> World:
 
 def save_world(world: World, path: str | Path,
                include_private: bool = True) -> None:
-    Path(path).write_text(
-        json.dumps(world_to_dict(world, include_private), indent=2))
+    from repro.storage.atomic import atomic_write_text
+
+    atomic_write_text(path, json.dumps(world_to_dict(world, include_private),
+                                       indent=2))
 
 
 def load_world(path: str | Path) -> World:

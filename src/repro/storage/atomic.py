@@ -1,0 +1,38 @@
+"""Atomic file writes: write-temp-then-``os.replace``.
+
+Every artifact this library writes to disk — world snapshots, metrics
+dumps, JSONL traces, store snapshots — goes through these helpers, so a
+crash mid-write can never leave a torn file behind: readers see either the
+previous complete version or the new complete version, nothing in between.
+
+Deliberately **no fsync**: durability here means crash *consistency* of
+the file contents, not power-loss ordering guarantees.  Calling fsync would
+add host-dependent timing without changing what any reader can observe, and
+the simulated-clock determinism contract (two seeded runs must serialise
+byte-identical traces) forbids host I/O timing from leaking into outputs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically via a sibling temp file."""
+    target = Path(path)
+    temp = target.with_name(f".{target.name}.tmp-{os.getpid()}")
+    try:
+        temp.write_bytes(data)
+        os.replace(temp, target)
+    finally:
+        # os.replace consumed the temp file on success; anything left behind
+        # is the residue of a failed write and must not survive.
+        if temp.exists():
+            temp.unlink()
+
+
+def atomic_write_text(path: str | Path, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically via a sibling temp file."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -1,0 +1,309 @@
+"""Plain-data codecs between domain objects and store values.
+
+Everything round-trips through the same stable textual forms the
+serialisation layer uses (``str(rule)`` / ``parse_rule``, ``str(literal)``
+/ ``parse_literal``, ``str(term)`` / ``parse_term`` — all property-tested
+in the parser suite), so store contents are inspectable JSON and survive
+process restarts regardless of hash seeds or object identities.
+
+Covered: credentials (delegated to :mod:`repro.serialize`), reply-cache
+messages (:class:`AnswerMessage` / :class:`PolicyMessage`), and proof
+trees (:class:`~repro.datalog.sld.ProofNode`) for retained answer tables.
+
+Import discipline: this module pulls in :mod:`repro.serialize` (which
+imports the peer layer), so the low-level modules it serves —
+``credentials/store.py``, ``negotiation/session.py`` — must import it
+lazily, inside the persistence paths only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.datalog.ast import Literal
+from repro.datalog.parser import parse_literal, parse_rule, parse_term
+from repro.datalog.terms import Compound, Constant, Term, Variable
+from repro.datalog.sld import ProofNode
+from repro.errors import StorageError
+from repro.net.message import (
+    AnswerItem,
+    AnswerMessage,
+    CredentialRef,
+    Message,
+    PolicyMessage,
+)
+from repro.serialize import credential_from_dict, credential_to_dict
+
+__all__ = [
+    "credential_from_dict", "credential_to_dict",
+    "message_to_dict", "message_from_dict",
+    "proof_to_dict", "proof_from_dict",
+    "ProofEncoder", "ProofDecoder",
+    "literal_to_text", "literal_from_text",
+    "term_to_data", "term_from_data",
+    "literal_to_data", "literal_from_data",
+]
+
+
+def literal_to_text(literal: Literal) -> str:
+    return str(literal)
+
+
+def literal_from_text(text: str) -> Literal:
+    return parse_literal(text)
+
+
+# ---------------------------------------------------------------------------
+# Structured terms and literals
+#
+# The textual codecs above are the canonical inspectable forms, but parsing
+# runs the full lexer per call — far too slow for bulk paths like answer-table
+# import, where tens of thousands of literals are restored in one go.  These
+# structured forms rebuild terms directly (hitting the intern tables), an
+# order of magnitude faster, and preserve the atom/string distinction
+# explicitly instead of through quoting.
+# ---------------------------------------------------------------------------
+
+def term_to_data(term: Term) -> list:
+    if isinstance(term, Variable):
+        return ["v", term.name]
+    if isinstance(term, Constant):
+        return ["c", term.value, term.quoted]
+    if isinstance(term, Compound):
+        return ["f", term.functor, [term_to_data(arg) for arg in term.args]]
+    raise StorageError(f"cannot persist term {term!r}")
+
+
+def term_from_data(data: list) -> Term:
+    tag = data[0]
+    if tag == "v":
+        return Variable(data[1])
+    if tag == "c":
+        return Constant(data[1], quoted=data[2])
+    if tag == "f":
+        return Compound(data[1], tuple(term_from_data(arg)
+                                       for arg in data[2]))
+    raise StorageError(f"cannot restore term tagged {tag!r}")
+
+
+def literal_to_data(literal: Literal) -> dict:
+    data: dict[str, Any] = {"p": literal.predicate}
+    if literal.args:
+        data["a"] = [term_to_data(arg) for arg in literal.args]
+    if literal.authority:
+        data["at"] = [term_to_data(term) for term in literal.authority]
+    if literal.negated:
+        data["n"] = True
+    return data
+
+
+def literal_from_data(data: dict) -> Literal:
+    return Literal(
+        predicate=data["p"],
+        args=tuple(term_from_data(arg) for arg in data.get("a", ())),
+        authority=tuple(term_from_data(term) for term in data.get("at", ())),
+        negated=data.get("n", False),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reply-cache messages
+# ---------------------------------------------------------------------------
+
+def _ref_to_dict(ref: CredentialRef) -> dict:
+    return {"serial": ref.serial, "digest": ref.digest}
+
+
+def _ref_from_dict(data: dict) -> CredentialRef:
+    return CredentialRef(serial=data["serial"], digest=data["digest"])
+
+
+def _item_to_dict(item: AnswerItem) -> dict:
+    return {
+        "bindings": {name: str(term) for name, term in item.bindings.items()},
+        "credentials": [credential_to_dict(c) for c in item.credentials],
+        "answer_credential": (credential_to_dict(item.answer_credential)
+                              if item.answer_credential is not None else None),
+        "answered_literal": (str(item.answered_literal)
+                             if item.answered_literal is not None else None),
+        "credential_refs": [_ref_to_dict(r) for r in item.credential_refs],
+        "answer_credential_ref": (
+            _ref_to_dict(item.answer_credential_ref)
+            if item.answer_credential_ref is not None else None),
+    }
+
+
+def _item_from_dict(data: dict) -> AnswerItem:
+    answer_credential = data.get("answer_credential")
+    answer_ref = data.get("answer_credential_ref")
+    answered = data.get("answered_literal")
+    return AnswerItem(
+        bindings={name: parse_term(text)
+                  for name, text in data.get("bindings", {}).items()},
+        credentials=tuple(credential_from_dict(c)
+                          for c in data.get("credentials", ())),
+        answer_credential=(credential_from_dict(answer_credential)
+                           if answer_credential is not None else None),
+        answered_literal=(parse_literal(answered)
+                          if answered is not None else None),
+        credential_refs=tuple(_ref_from_dict(r)
+                              for r in data.get("credential_refs", ())),
+        answer_credential_ref=(_ref_from_dict(answer_ref)
+                               if answer_ref is not None else None),
+    )
+
+
+def message_to_dict(message: Message) -> dict:
+    """Serialise a cached reply.  Only the two reply kinds the transport's
+    idempotent reply cache holds are supported."""
+    envelope = {
+        "kind": message.kind,
+        "sender": message.sender,
+        "receiver": message.receiver,
+        "session_id": message.session_id,
+        "message_id": message.message_id,
+    }
+    if isinstance(message, AnswerMessage):
+        envelope["query_id"] = message.query_id
+        envelope["items"] = [_item_to_dict(item) for item in message.items]
+        return envelope
+    if isinstance(message, PolicyMessage):
+        envelope["policy_name"] = message.policy_name
+        envelope["rules"] = [str(rule) for rule in message.rules]
+        envelope["granted"] = message.granted
+        return envelope
+    raise StorageError(f"cannot persist a {message.kind} reply")
+
+
+def message_from_dict(data: dict) -> Message:
+    kind = data.get("kind")
+    envelope = {
+        "sender": data["sender"],
+        "receiver": data["receiver"],
+        "session_id": data["session_id"],
+        "message_id": data["message_id"],
+    }
+    if kind == "AnswerMessage":
+        return AnswerMessage(
+            **envelope,
+            query_id=data.get("query_id", 0),
+            items=tuple(_item_from_dict(item)
+                        for item in data.get("items", ())),
+        )
+    if kind == "PolicyMessage":
+        return PolicyMessage(
+            **envelope,
+            policy_name=data.get("policy_name", ""),
+            rules=tuple(parse_rule(text) for text in data.get("rules", ())),
+            granted=data.get("granted", False),
+        )
+    raise StorageError(f"cannot restore a {kind!r} reply")
+
+
+# ---------------------------------------------------------------------------
+# Proof trees (retained answer tables)
+# ---------------------------------------------------------------------------
+
+class ProofEncoder:
+    """Pool-encode proof trees with structural sharing.
+
+    Tabled evaluation builds heavily shared proof DAGs — every answer for
+    ``path(X, Z)`` embeds the sub-proofs of shorter paths, and the same
+    node object appears under thousands of parents.  Serialising each tree
+    independently expands that sharing combinatorially (megabytes for a
+    60-edge chain); encoding each *object* once, with children as pool
+    indices, keeps the persisted form proportional to the unique-node
+    count."""
+
+    def __init__(self) -> None:
+        self.nodes: list[dict] = []
+        self._index: dict[int, int] = {}
+
+    def encode(self, proof: ProofNode) -> int:
+        """Add ``proof`` (and, recursively, its children) to the pool;
+        returns its node index."""
+        memoised = self._index.get(id(proof))
+        if memoised is not None:
+            return memoised
+        children = [self.encode(child) for child in proof.children]
+        node: dict[str, Any] = {"goal": literal_to_data(proof.goal),
+                                "kind": proof.kind}
+        if proof.rule is not None:
+            node["rule"] = str(proof.rule)
+        if proof.peer is not None:
+            node["peer"] = proof.peer
+        if proof.credential is not None:
+            node["credential"] = credential_to_dict(proof.credential)
+        if children:
+            node["children"] = children
+        index = self._index[id(proof)] = len(self.nodes)
+        self.nodes.append(node)
+        return index
+
+
+class ProofDecoder:
+    """Decode a :class:`ProofEncoder` pool back into shared
+    :class:`ProofNode` objects.  Goals are rebuilt structurally (no lexer);
+    rule texts repeat massively across a pool, so their parses are memoised
+    per decoder."""
+
+    def __init__(self, nodes: list[dict]) -> None:
+        self._nodes = nodes
+        self._decoded: dict[int, ProofNode] = {}
+        self._rules: dict[str, Any] = {}
+
+    def _rule(self, text: str):
+        rule = self._rules.get(text)
+        if rule is None:
+            rule = self._rules[text] = parse_rule(text)
+        return rule
+
+    def decode(self, index: int) -> ProofNode:
+        decoded = self._decoded.get(index)
+        if decoded is not None:
+            return decoded
+        data = self._nodes[index]
+        rule_text = data.get("rule")
+        credential_data = data.get("credential")
+        decoded = self._decoded[index] = ProofNode(
+            goal=literal_from_data(data["goal"]),
+            kind=data["kind"],
+            rule=self._rule(rule_text) if rule_text is not None else None,
+            children=tuple(self.decode(child)
+                           for child in data.get("children", ())),
+            peer=data.get("peer"),
+            credential=(credential_from_dict(credential_data)
+                        if credential_data is not None else None),
+        )
+        return decoded
+
+
+def proof_to_dict(proof: ProofNode) -> dict:
+    node: dict[str, Any] = {
+        "goal": str(proof.goal),
+        "kind": proof.kind,
+    }
+    if proof.rule is not None:
+        node["rule"] = str(proof.rule)
+    if proof.peer is not None:
+        node["peer"] = proof.peer
+    if proof.credential is not None:
+        node["credential"] = credential_to_dict(proof.credential)
+    if proof.children:
+        node["children"] = [proof_to_dict(child) for child in proof.children]
+    return node
+
+
+def proof_from_dict(data: dict) -> ProofNode:
+    rule_text: Optional[str] = data.get("rule")
+    credential_data = data.get("credential")
+    return ProofNode(
+        goal=parse_literal(data["goal"]),
+        kind=data["kind"],
+        rule=parse_rule(rule_text) if rule_text is not None else None,
+        children=tuple(proof_from_dict(child)
+                       for child in data.get("children", ())),
+        peer=data.get("peer"),
+        credential=(credential_from_dict(credential_data)
+                    if credential_data is not None else None),
+    )

@@ -125,6 +125,28 @@ class World:
             issued.append(credential)
         return issued
 
+    # -- durable state -----------------------------------------------------------------
+
+    def attach_state_stores(self, backend: str = "memory",
+                            state_dir=None, peers=None) -> dict:
+        """Open one :func:`repro.storage.open_store` per peer (all of them
+        by default) and attach each to the transport, enabling
+        crash/restart recovery.  Returns ``{peer_name: store}``."""
+        from repro.storage import open_store
+
+        names = list(peers) if peers is not None else sorted(self.peers)
+        stores = {}
+        for name in names:
+            store = open_store(backend, state_dir=state_dir, name=name)
+            self.transport.attach_state_store(name, store)
+            stores[name] = store
+        return stores
+
+    def detach_state_stores(self) -> list:
+        """Checkpoint and close every attached store (see
+        :meth:`Transport.detach_state_stores`)."""
+        return self.transport.detach_state_stores()
+
     # -- metrics ----------------------------------------------------------------------
 
     def reset_metrics(self):

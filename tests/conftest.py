@@ -19,6 +19,51 @@ from repro.datalog.sld import SLDEngine
 KEY_BITS = 512
 
 
+def pytest_runtest_setup(item):
+    """Every test starts with pristine id counters (message, session,
+    fresh-variable, store-txn) so id-sensitive assertions cannot depend on
+    which tests ran before them.  A hook, not an autouse fixture: fixtures
+    trip Hypothesis's function_scoped_fixture health check on @given tests."""
+    from repro.determinism import reset_all
+
+    reset_all()
+
+
+@pytest.fixture
+def attach_stores():
+    """Factory: attach per-peer state stores to a world, backend selected
+    by ``PEERTRUST_STORE_BACKEND`` (default ``memory``) so CI can rerun the
+    same suites against the durable backend.  Durable state lands in a
+    fresh directory under ``PEERTRUST_STATE_DIR`` (or the system tmpdir)
+    and is removed on teardown — the durable CI job asserts the state
+    directory is empty afterwards."""
+    import os
+    import shutil
+    import tempfile
+
+    dirs: list[str] = []
+    worlds: list = []
+
+    def attach(world, backend: str | None = None, peers=None) -> dict:
+        chosen = backend or os.environ.get("PEERTRUST_STORE_BACKEND",
+                                           "memory")
+        state_dir = None
+        if chosen == "durable":
+            state_dir = tempfile.mkdtemp(
+                prefix="peertrust-state-",
+                dir=os.environ.get("PEERTRUST_STATE_DIR"))
+            dirs.append(state_dir)
+        worlds.append(world)
+        return world.attach_state_stores(chosen, state_dir=state_dir,
+                                         peers=peers)
+
+    yield attach
+    for world in worlds:
+        world.detach_state_stores()
+    for directory in dirs:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 @pytest.fixture
 def kb():
     return KnowledgeBase()

@@ -201,6 +201,88 @@ class TestCrashRestart:
         assert not result.session.in_flight
 
 
+class TestCrashRecoveryWindows:
+    """Crash windows are *survivable* when the peer has a state store: the
+    fleet converges to the same outcomes as a fault-free run, and restarted
+    peers come back with their disclosure ledgers warm."""
+
+    STAGGER_MS = 5.0
+    # Client1's negotiation spans [5.0, ~9.5) simulated ms at this stagger;
+    # the window kills it mid-negotiation and restarts at 7.0.
+    CRASH_AT, CRASH_UNTIL = 5.0, 7.0
+
+    def _fleet_outcomes(self, attach=None):
+        from repro.storage.recovery import schedule_crash_restart
+        from repro.workloads.generator import build_bilateral_fleet
+
+        fleet = build_bilateral_fleet(3, key_bits=KEY_BITS)
+        if attach is not None:
+            attach(fleet.world)
+        fleet.world.set_retry(PATIENT)
+        schedule_crash_restart(fleet.world.transport, "Client1",
+                               self.CRASH_AT, self.CRASH_UNTIL)
+        report = fleet.run_interleaved(stagger_ms=self.STAGGER_MS)
+        return fleet, report
+
+    def test_baseline_fleet_grants_everything(self):
+        from repro.workloads.generator import build_bilateral_fleet
+
+        fleet = build_bilateral_fleet(3, key_bits=KEY_BITS)
+        report = fleet.run_interleaved(stagger_ms=self.STAGGER_MS)
+        assert [r.granted for r in report.results] == [True, True, True]
+
+    def test_warm_restart_converges_to_fault_free_outcomes(self, attach_stores):
+        fleet, report = self._fleet_outcomes(attach=attach_stores)
+        # Same outcomes as the no-crash run: the mid-fleet outage was
+        # absorbed by patient retries + restart-from-store.
+        assert [r.granted for r in report.results] == [True, True, True]
+        assert fleet.world.transport.faults.stats["crash_drops"] >= 1
+        crashed = report.results[1]
+        assert crashed.session.counters["retries"] >= 1
+
+    def test_cold_restart_loses_the_crashed_negotiation(self):
+        _, report = self._fleet_outcomes(attach=None)
+        # Without a store the restarted client's wallet is gone, so its
+        # negotiation fails while the uninvolved pairs are untouched —
+        # proving the teardown is real, not cosmetic.
+        assert [r.granted for r in report.results] == [True, False, True]
+
+    def _delta_rounds(self, warm: bool, attach=None):
+        from repro.datalog.parser import parse_literal
+        from repro.net.message import QueryMessage
+        from repro.scenarios.services import build_scenario2
+        from repro.storage.recovery import restart_peer
+
+        scenario = build_scenario2(key_bits=KEY_BITS)
+        transport = scenario.world.transport
+        transport.disclosure_deltas = True
+        if warm:
+            attach(scenario.world)
+        session = transport.sessions.get_or_create(
+            "repeat-session", "Bob", scenario.bob.max_nesting)
+        goal = parse_literal('enroll(cs101, "Bob", Company, Email, 0)')
+        replies = []
+        for round_index in range(2):
+            if round_index == 1:
+                restart_peer(transport, "E-Learn")
+            replies.append(transport.request(QueryMessage(
+                sender="Bob", receiver="E-Learn", session_id=session.id,
+                goal=goal)))
+        return replies, session
+
+    def test_restarted_peer_reuses_warm_disclosure_deltas(self, attach_stores):
+        warm_replies, warm_session = self._delta_rounds(
+            warm=True, attach=attach_stores)
+        cold_replies, _ = self._delta_rounds(warm=False)
+        # Warm: the restored wire ledger lets the repeat answer travel as a
+        # hash reference.  Cold: the restarted peer must re-ship the full
+        # payload.
+        assert warm_replies[1].items[0].answer_credential_ref is not None
+        assert cold_replies[1].items[0].answer_credential_ref is None
+        assert warm_replies[1].wire_size() < cold_replies[1].wire_size()
+        assert warm_session.counters["delta_refs_sent"] >= 1
+
+
 class TestDeadlines:
     def test_deadline_exhaustion_is_a_clean_outcome(self, network):
         # A tiny budget expires partway into the nested counter-queries.

@@ -296,15 +296,11 @@ class TestTracer:
 
 def _traced_enrollment(fault_plan=None):
     """One fresh scenario-2 free enrollment traced from a reset id space."""
-    from repro.datalog.terms import reset_fresh_variables
-    from repro.negotiation.session import reset_session_ids
-    from repro.net.message import reset_message_ids
+    from repro.determinism import reset_all
     from repro.net.transport import constant_latency
     from repro.scenarios.services import build_scenario2, run_free_enrollment
 
-    reset_message_ids()
-    reset_session_ids()
-    reset_fresh_variables()
+    reset_all()
     scenario = build_scenario2(key_bits=KEY_BITS)
     transport = scenario.transport
     transport.latency = constant_latency(1.0)

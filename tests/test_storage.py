@@ -1,0 +1,522 @@
+"""Storage subsystem: backends, codecs, sharded sessions, crash recovery.
+
+Covers the state-store contract both backends must satisfy, the durable
+backend's journal/snapshot recovery semantics (including torn trailing
+lines), the plain-data codecs, the sharded session table, and the full
+crash → restart-from-store path with warm session re-attachment."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import World, negotiate, parse_literal
+from repro.errors import StorageError
+from repro.negotiation.session import SessionTable
+from repro.net.message import QueryMessage
+from repro.storage import (
+    DurableStore,
+    MemoryStore,
+    atomic_write_text,
+    iter_namespace,
+    open_store,
+)
+from repro.storage.recovery import (
+    RecoveryReport,
+    crash_peer,
+    load_answer_tables,
+    recover_peer,
+    restart_peer,
+    save_answer_tables,
+    stale_session_namespaces,
+)
+
+KEY_BITS = 512
+
+
+def _quickstart():
+    world = World(key_bits=KEY_BITS)
+    world.add_peer("Server",
+                   'hello(Requester) $ true <- '
+                   'friend(Requester) @ "CA" @ Requester.')
+    client = world.add_peer(
+        "Client", 'friend(X) @ Y $ true <-{true} friend(X) @ Y.')
+    world.issuer("CA")
+    world.distribute_keys()
+    world.give_credentials("Client", 'friend("Client") signedBy ["CA"].')
+    return world, client
+
+
+# ---------------------------------------------------------------------------
+# StateStore contract (both backends)
+# ---------------------------------------------------------------------------
+
+
+def _backends(tmp_path):
+    return [MemoryStore(), DurableStore(tmp_path / "durable")]
+
+
+class TestStoreContract:
+    def test_put_get_delete_roundtrip(self, tmp_path):
+        for store in _backends(tmp_path):
+            store.put("wallet", "s1", {"x": 1})
+            assert store.get("wallet", "s1") == {"x": 1}
+            assert store.get("wallet", "missing", "dflt") == "dflt"
+            assert store.delete("wallet", "s1")
+            assert not store.delete("wallet", "s1")
+            assert store.get("wallet", "s1") is None
+
+    def test_empty_buckets_vanish(self, tmp_path):
+        for store in _backends(tmp_path):
+            store.put("ns", "k", 1)
+            store.delete("ns", "k")
+            assert store.namespaces() == []
+
+    def test_drop_namespace(self, tmp_path):
+        for store in _backends(tmp_path):
+            store.put("overlay:s1", "a", 1)
+            store.put("overlay:s1", "b", 2)
+            store.put("wallet", "c", 3)
+            assert store.drop("overlay:s1")
+            assert not store.drop("overlay:s1")
+            assert store.namespaces() == ["wallet"]
+
+    def test_snapshot_restore(self, tmp_path):
+        for store in _backends(tmp_path):
+            store.put("wallet", "s1", {"x": 1})
+            snap = store.snapshot()
+            store.put("wallet", "s2", {"x": 2})
+            store.restore(snap)
+            assert store.items("wallet") == {"s1": {"x": 1}}
+            # Snapshots are copies, not views.
+            snap["wallet"]["s1"] = "mutated"
+            assert store.get("wallet", "s1") == {"x": 1}
+
+    def test_len_counts_keys(self, tmp_path):
+        for store in _backends(tmp_path):
+            store.put("a", "1", None)
+            store.put("b", "1", None)
+            store.put("b", "2", None)
+            assert len(store) == 3
+
+    def test_closed_store_refuses_mutations(self, tmp_path):
+        for store in _backends(tmp_path):
+            store.put("ns", "k", 1)
+            store.close()
+            with pytest.raises(StorageError):
+                store.put("ns", "k2", 2)
+            # Reads still work (recovery inspects closed stores).
+            assert store.get("ns", "k") == 1
+
+    def test_iter_namespace_prefix(self, tmp_path):
+        store = MemoryStore()
+        for namespace in ("overlay:s1", "overlay:s2", "wallet"):
+            store.put(namespace, "k", 1)
+        assert sorted(iter_namespace(store, "overlay:")) == [
+            "overlay:s1", "overlay:s2"]
+
+
+class TestOpenStore:
+    def test_backend_selection(self, tmp_path):
+        assert isinstance(open_store("memory"), MemoryStore)
+        durable = open_store("durable", state_dir=tmp_path, name="alice")
+        assert isinstance(durable, DurableStore)
+        assert durable.directory == tmp_path / "alice"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(StorageError):
+            open_store("redis")
+
+    def test_durable_requires_state_dir(self):
+        with pytest.raises(StorageError):
+            open_store("durable")
+
+
+# ---------------------------------------------------------------------------
+# Durable backend: journal replay, checkpoints, torn lines
+# ---------------------------------------------------------------------------
+
+
+class TestDurableRecovery:
+    def test_journal_replay_without_checkpoint(self, tmp_path):
+        store = DurableStore(tmp_path / "peer")
+        store.put("wallet", "s1", {"x": 1})
+        store.put("wallet", "s2", {"x": 2})
+        store.delete("wallet", "s2")
+        # No close/checkpoint: reopen replays the journal from scratch.
+        reopened = DurableStore(tmp_path / "peer")
+        assert reopened.items("wallet") == {"s1": {"x": 1}}
+        assert reopened.recovered["journal_records"] == 3
+        assert not reopened.recovered["from_snapshot"]
+
+    def test_checkpoint_collapses_journal(self, tmp_path):
+        store = DurableStore(tmp_path / "peer")
+        store.put("wallet", "s1", {"x": 1})
+        store.checkpoint()
+        assert (tmp_path / "peer" / "journal.jsonl").read_text() == ""
+        reopened = DurableStore(tmp_path / "peer")
+        assert reopened.get("wallet", "s1") == {"x": 1}
+        assert reopened.recovered["from_snapshot"]
+        assert reopened.recovered["journal_records"] == 0
+
+    def test_restore_journals_full_state(self, tmp_path):
+        store = DurableStore(tmp_path / "peer")
+        store.put("junk", "k", 1)
+        store.restore({"wallet": {"s1": {"x": 1}}})
+        reopened = DurableStore(tmp_path / "peer")
+        assert reopened.snapshot() == {"wallet": {"s1": {"x": 1}}}
+
+    def test_torn_trailing_line_is_discarded(self, tmp_path):
+        store = DurableStore(tmp_path / "peer")
+        store.put("wallet", "s1", {"x": 1})
+        journal = tmp_path / "peer" / "journal.jsonl"
+        with open(journal, "a") as handle:
+            handle.write('{"txn":99,"op":"put","ns":"wal')  # crash mid-append
+        reopened = DurableStore(tmp_path / "peer")
+        assert reopened.get("wallet", "s1") == {"x": 1}
+        assert reopened.recovered["torn_lines"] == 1
+
+    def test_corrupt_mid_journal_raises(self, tmp_path):
+        store = DurableStore(tmp_path / "peer")
+        store.put("wallet", "s1", {"x": 1})
+        journal = tmp_path / "peer" / "journal.jsonl"
+        valid = journal.read_text()
+        journal.write_text("GARBAGE\n" + valid)
+        with pytest.raises(StorageError, match="not a torn tail"):
+            DurableStore(tmp_path / "peer")
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        store = DurableStore(tmp_path / "peer")
+        store.put("wallet", "s1", {"x": 1})
+        store.close()
+        (tmp_path / "peer" / "snapshot.json").write_text("{not json")
+        with pytest.raises(StorageError, match="corrupt snapshot"):
+            DurableStore(tmp_path / "peer")
+
+    def test_destroy_removes_footprint(self, tmp_path):
+        store = DurableStore(tmp_path / "peer")
+        store.put("wallet", "s1", {"x": 1})
+        store.destroy()
+        assert not (tmp_path / "peer").exists()
+
+    def test_checkpoint_is_deterministic_bytes(self, tmp_path):
+        texts = []
+        for name in ("a", "b"):
+            store = DurableStore(tmp_path / name)
+            store.put("z", "k2", 2)
+            store.put("a", "k1", 1)
+            store.checkpoint()
+            texts.append((tmp_path / name / "snapshot.json").read_text())
+        assert texts[0] == texts[1]
+        assert json.loads(texts[0]) == {"z": {"k2": 2}, "a": {"k1": 1}}
+
+
+class TestAtomicWrites:
+    def test_replaces_content_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_save_world_is_atomic_and_loadable(self, tmp_path):
+        from repro.serialize import load_world, save_world
+
+        world, _ = _quickstart()
+        path = tmp_path / "world.json"
+        save_world(world, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["world.json"]
+        assert sorted(load_world(path).peers) == ["Client", "Server"]
+
+
+# ---------------------------------------------------------------------------
+# Codec round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestCodec:
+    def _credential(self, world):
+        return world.credential('friend("Client") signedBy ["CA"].')
+
+    def test_credential_roundtrip(self):
+        from repro.storage.codec import credential_from_dict, credential_to_dict
+
+        world, _ = _quickstart()
+        credential = self._credential(world)
+        restored = credential_from_dict(credential_to_dict(credential))
+        assert restored.serial == credential.serial
+        assert str(restored.rule) == str(credential.rule)
+
+    def test_answer_message_roundtrip(self):
+        from repro.net.message import AnswerItem, AnswerMessage, CredentialRef
+        from repro.storage.codec import message_from_dict, message_to_dict
+
+        world, _ = _quickstart()
+        credential = self._credential(world)
+        message = AnswerMessage(
+            sender="Server", receiver="Client", session_id="s1",
+            query_id=7,
+            items=(AnswerItem(
+                bindings={"X": parse_literal('p("Client")').args[0]},
+                credentials=(credential,),
+                answered_literal=parse_literal('friend("Client")'),
+                credential_refs=(CredentialRef(serial="abc", digest="def"),),
+            ),))
+        restored = message_from_dict(message_to_dict(message))
+        assert restored.kind == "AnswerMessage"
+        assert restored.query_id == 7
+        assert restored.message_id == message.message_id
+        item = restored.items[0]
+        assert str(item.bindings["X"]) == '"Client"'
+        assert item.credentials[0].serial == credential.serial
+        assert str(item.answered_literal) == 'friend("Client")'
+        assert item.credential_refs[0].serial == "abc"
+
+    def test_policy_message_roundtrip(self):
+        from repro.datalog.parser import parse_rule
+        from repro.net.message import PolicyMessage
+        from repro.storage.codec import message_from_dict, message_to_dict
+
+        message = PolicyMessage(
+            sender="A", receiver="B", session_id="s1",
+            policy_name="release", granted=True,
+            rules=(parse_rule("ok(X) <- p(X)."),))
+        restored = message_from_dict(message_to_dict(message))
+        assert restored.granted
+        assert str(restored.rules[0]) == str(message.rules[0])
+
+    def test_unsupported_message_kind_raises(self):
+        from repro.storage.codec import message_to_dict
+
+        query = QueryMessage(sender="A", receiver="B", session_id="s1",
+                             goal=parse_literal("p(1)"))
+        with pytest.raises(StorageError):
+            message_to_dict(query)
+
+    def test_proof_tree_roundtrip(self, engine_for):
+        from repro.storage.codec import proof_from_dict, proof_to_dict
+
+        engine = engine_for("p(X) <- q(X). q(1).")
+        solution = engine.query([parse_literal("p(X)")])[0]
+        proof = solution.proofs[0]
+        restored = proof_from_dict(proof_to_dict(proof))
+        assert str(restored.goal) == str(proof.goal)
+        assert restored.kind == proof.kind
+        assert len(restored.children) == len(proof.children)
+        assert str(restored.rule) == str(proof.rule)
+
+
+# ---------------------------------------------------------------------------
+# Sharded session table
+# ---------------------------------------------------------------------------
+
+
+class TestShardedSessionTable:
+    def test_lookup_across_shards(self):
+        table = SessionTable()
+        ids = [f"session-{n}" for n in range(40)]
+        for session_id in ids:
+            table.get_or_create(session_id, "A")
+        assert len(table) == 40
+        assert sum(table.shard_sizes()) == 40
+        # More than one shard actually in use.
+        assert sum(1 for size in table.shard_sizes() if size) > 1
+        for session_id in ids:
+            assert table.get(session_id).id == session_id
+
+    def test_get_or_create_is_idempotent(self):
+        table = SessionTable()
+        first = table.get_or_create("s1", "A")
+        assert table.get_or_create("s1", "A") is first
+
+    def test_capacity_evicts_globally_oldest(self):
+        evicted = []
+        table = SessionTable(capacity=3, on_evict=evicted.append)
+        for n in range(5):
+            table.get_or_create(f"session-{n}", "A")
+        assert evicted == ["session-0", "session-1"]
+        assert table.evictions == 2
+        assert len(table) == 3
+        assert table.get("session-0") is None
+
+    def test_forget_fires_evict_hook_once(self):
+        evicted = []
+        table = SessionTable(on_evict=evicted.append)
+        table.get_or_create("s1", "A")
+        table.forget("s1")
+        table.forget("s1")
+        assert evicted == ["s1"]
+        assert len(table) == 0
+
+    def test_sessions_iterates_in_insertion_order(self):
+        table = SessionTable()
+        for name in ("zz", "aa", "mm"):
+            table.get_or_create(name, "A")
+        assert [s.id for s in table.sessions()] == ["zz", "aa", "mm"]
+
+    def test_shard_placement_is_hash_seed_independent(self):
+        import zlib
+
+        table = SessionTable()
+        table.get_or_create("session-1", "A")
+        expected = zlib.crc32(b"session-1") % len(table._shards)
+        assert table._shards[expected]["session-1"] is table.get("session-1")
+
+
+# ---------------------------------------------------------------------------
+# Crash / recovery
+# ---------------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_cold_restart_loses_the_wallet(self):
+        world, client = _quickstart()
+        report = restart_peer(world.transport, "Client")
+        assert report == RecoveryReport(peer="Client", warm=False)
+        assert len(client.credentials) == 0
+        result = negotiate(client, "Server", parse_literal('hello("Client")'))
+        assert not result.granted
+
+    def test_warm_restart_restores_the_wallet(self, attach_stores):
+        world, client = _quickstart()
+        attach_stores(world)
+        report = restart_peer(world.transport, "Client")
+        assert report.warm
+        assert report.credentials == 1
+        assert len(client.credentials) == 1
+        result = negotiate(client, "Server", parse_literal('hello("Client")'))
+        assert result.granted
+
+    def test_recovery_reattaches_live_sessions(self, attach_stores):
+        world, _ = _quickstart()
+        stores = attach_stores(world)
+        # A mid-flight session: the Server's overlay holds one disclosure.
+        transport = world.transport
+        session = transport.sessions.get_or_create("inflight", "Client")
+        credential = world.credential('friend("Client") signedBy ["CA"].')
+        session.received_for("Server").add(credential)
+        report = restart_peer(transport, "Server")
+        assert report.sessions_reattached == 1
+        assert report.overlays == 1
+        restored = session.received_for("Server")
+        assert restored.get(credential.serial) is not None
+        assert session.holds(credential.serial, "Server")
+        assert stores["Server"].get("sessions", session.id) is not None
+
+    def test_recovery_aborts_sessions_only_the_store_remembers(
+            self, attach_stores):
+        world, client = _quickstart()
+        stores = attach_stores(world)
+        store = stores["Server"]
+        store.put("sessions", "ghost", {"initiator": "Client",
+                                        "max_nesting": 30})
+        store.put("overlay:ghost", "serial", {"fake": True})
+        report = restart_peer(world.transport, "Server")
+        assert report.sessions_aborted == 1
+        assert store.get("sessions", "ghost") is None
+        assert "overlay:ghost" not in store.namespaces()
+
+    def test_reply_cache_dedupes_replay_after_restart(self, attach_stores):
+        world, client = _quickstart()
+        attach_stores(world)
+        transport = world.transport
+        session = transport.sessions.get_or_create("replay", "Client")
+        query = QueryMessage(sender="Client", receiver="Server",
+                             session_id=session.id,
+                             goal=parse_literal('friend(X) @ "CA"'))
+        first = transport.request(query)
+        suppressed_before = transport.stats.duplicates_suppressed
+        restart_peer(transport, "Server")
+        replayed = transport.request(query)
+        assert transport.stats.duplicates_suppressed == suppressed_before + 1
+        assert replayed.message_id == first.message_id
+
+    def test_ledger_survives_restart_on_both_sides(self, attach_stores):
+        world, _ = _quickstart()
+        attach_stores(world)
+        transport = world.transport
+        session = transport.sessions.get_or_create("ledger", "Client")
+        session.note_wire_disclosure("Client", "Server", "serial-1")
+        for peer_name in ("Client", "Server"):
+            restart_peer(transport, peer_name)
+        assert session.wire_disclosed("Client", "Server", "serial-1")
+
+    def test_session_release_leaves_no_stale_namespaces(self, attach_stores):
+        world, client = _quickstart()
+        stores = attach_stores(world)
+        result = negotiate(client, "Server", parse_literal('hello("Client")'))
+        assert result.granted
+        for store in stores.values():
+            assert stale_session_namespaces(store) == []
+            assert store.items("sessions") == {}
+
+    def test_recovery_metrics_and_span(self, attach_stores):
+        from repro.obs.metrics import global_registry
+        from repro.obs.trace import Tracer, tracing
+
+        world, client = _quickstart()
+        attach_stores(world)
+        registry = global_registry()
+        warm_before = registry.snapshot().get(
+            'peertrust_recovery_total{outcome="warm"}', 0)
+        tracer = Tracer()
+        with tracing(tracer):
+            restart_peer(world.transport, "Client")
+        snap = registry.snapshot()
+        assert snap['peertrust_recovery_total{outcome="warm"}'] == \
+            warm_before + 1
+        names = [r.get("name") for r in tracer.all_records()]
+        assert "peer.recover" in names
+
+
+# ---------------------------------------------------------------------------
+# Retained answer tables
+# ---------------------------------------------------------------------------
+
+
+class TestAnswerTablePersistence:
+    PROGRAM = """
+        path(X, Y) <- edge(X, Y).
+        path(X, Z) <- edge(X, Y), path(Y, Z).
+        edge(1, 2). edge(2, 3). edge(3, 4).
+    """
+
+    def test_tables_roundtrip_through_a_store(self, engine_for):
+        store = MemoryStore()
+        engine = engine_for(self.PROGRAM, tabled=True)
+        solutions = engine.query([parse_literal("path(1, X)")])
+        saved = save_answer_tables(engine, store)
+        assert saved >= 1
+
+        fresh = engine_for(self.PROGRAM, tabled=True)
+        adopted = load_answer_tables(fresh, store)
+        assert adopted == saved
+        from repro.datalog.terms import Variable
+
+        replayed = fresh.query([parse_literal("path(1, X)")])
+        x = Variable("X")
+        assert sorted(str(s.subst.resolve(x)) for s in replayed) == \
+            sorted(str(s.subst.resolve(x)) for s in solutions)
+        # The warm engine replays rather than re-derives.
+        assert fresh.stats.table_hits >= 1
+
+    def test_kb_fingerprint_mismatch_adopts_nothing(self, engine_for):
+        store = MemoryStore()
+        engine = engine_for(self.PROGRAM, tabled=True)
+        engine.query([parse_literal("path(1, X)")])
+        save_answer_tables(engine, store)
+        other = engine_for("edge(9, 9).", tabled=True)
+        assert load_answer_tables(other, store) == 0
+
+    def test_untabled_engine_adopts_nothing(self, engine_for):
+        store = MemoryStore()
+        engine = engine_for(self.PROGRAM, tabled=True)
+        engine.query([parse_literal("path(1, X)")])
+        save_answer_tables(engine, store)
+        plain = engine_for(self.PROGRAM, tabled=False)
+        assert load_answer_tables(plain, store) == 0
+
+    def test_empty_store_loads_zero(self, engine_for):
+        assert load_answer_tables(
+            engine_for(self.PROGRAM, tabled=True), MemoryStore()) == 0

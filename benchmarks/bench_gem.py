@@ -1,0 +1,201 @@
+"""E18 — GEM distributed tabling vs in-flight pruning on mutual recursion.
+
+The mutual-membership workload
+(:func:`repro.workloads.generator.build_mutual_membership_workload`) chains
+``depth + 1`` institution pairs whose membership policies reference each
+other, so the opening ``member(X)`` query crosses nested cross-peer cycles.
+Each depth runs twice on fresh identical worlds: **inflight** (the default
+— re-entrant queries are pruned, the paper's loop handling) and **gem**
+(``--tabling gem`` — per-goal tables, cycle subscriptions, distributed
+completion detection).  Both must produce the *same answer relation*; the
+benchmark compares their simulated time and wire bytes, plus the table-hit
+payoff of a repeat query in the same session (served from the completed
+table, zero re-evaluation).
+
+All numbers are deterministic (simulated clock, exact wire sizes), so the
+committed baseline ``benchmarks/reports/bench_gem.json`` is byte-stable and
+``benchmarks/regress.py`` gates on it.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_gem.py
+[--quick]``) or under pytest.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.reporting import format_table
+from repro.net.message import QueryMessage
+from repro.net.transport import constant_latency
+from repro.workloads.generator import build_mutual_membership_workload
+
+REPORT_PATH = Path(__file__).resolve().parent / "reports" / "bench_gem.json"
+TRAJECTORY = "BENCH_GEM_V1"
+
+DEPTHS = (0, 1, 2)
+
+
+def _build(depth: int, tabling: str):
+    workload = build_mutual_membership_workload(depth)
+    transport = workload.world.transport
+    # Size-independent latency: session-id string lengths vary with global
+    # counters, and the default bandwidth model would let that noise into
+    # the simulated timings.
+    transport.latency = constant_latency(1.0)
+    transport.tabling = tabling
+    return workload
+
+
+def _answer_set(result):
+    return frozenset(str(literal) for literal, _ in result.answers)
+
+
+def _run(workload):
+    transport = workload.world.transport
+    clock_start = transport.now_ms
+    result = workload.run()
+    assert result.granted, workload.description
+    elapsed_ms = transport.now_ms - clock_start
+    stats = workload.world.stats
+    return result, elapsed_ms, stats.bytes, stats.messages
+
+
+def run_depth(depth: int) -> dict:
+    """One recursion depth: inflight and gem runs on fresh identical
+    worlds; the answer relations must agree exactly."""
+    in_result, in_ms, in_bytes, in_msgs = _run(_build(depth, "inflight"))
+    gem_result, gem_ms, gem_bytes, gem_msgs = _run(_build(depth, "gem"))
+    assert _answer_set(in_result) == _answer_set(gem_result), depth
+    counters = gem_result.session.counters
+    return {
+        "benchmark": f"mutual_recursion_d{depth}",
+        "depth": depth,
+        "answers": len(gem_result.answers),
+        "inflight_sim_ms": round(in_ms, 3),
+        "gem_sim_ms": round(gem_ms, 3),
+        "inflight_bytes": in_bytes,
+        "gem_bytes": gem_bytes,
+        "inflight_messages": in_msgs,
+        "gem_messages": gem_msgs,
+        "tables_activated": counters.get("tables_activated", 0),
+        "table_passes": counters.get("table_passes", 0),
+        "fixpoint_rounds": counters.get("table_fixpoint_rounds", 0),
+        # Wire overhead of sound completion: gem ships table answers and
+        # completion broadcasts that pruning never pays for.
+        "bytes_ratio": round(gem_bytes / in_bytes, 2) if in_bytes else 1.0,
+        # Regress-gate indicator (bench_obs idiom): 1.0 iff the gem answer
+        # relation is exactly the expected complete one, 0.0 otherwise —
+        # the 0.8x floor then fails the run on any lost or spurious answer.
+        "speedup": 1.0 if len(gem_result.answers) == 2 * (depth + 1) else 0.0,
+    }
+
+
+def run_repeat_query(depth: int = 1, rounds: int = 3) -> dict:
+    """Repeat the goal inside one session under gem: round 1 builds and
+    completes the tables, later rounds are pure table serves."""
+    workload = _build(depth, "gem")
+    transport = workload.world.transport
+    session = transport.sessions.get_or_create(
+        "gem-repeat", workload.requester.name,
+        workload.requester.max_nesting)
+    first_bytes = repeat_bytes = 0
+    for round_index in range(rounds):
+        before = transport.stats.bytes
+        reply = transport.request(QueryMessage(
+            sender=workload.requester.name,
+            receiver=workload.provider_name,
+            session_id=session.id, goal=workload.goal))
+        assert reply.items, f"round {round_index} denied"
+        spent = transport.stats.bytes - before
+        if round_index:
+            repeat_bytes += spent
+        else:
+            first_bytes = spent
+    repeat_rounds = rounds - 1
+    mean_repeat = repeat_bytes / repeat_rounds if repeat_rounds else 0.0
+    return {
+        "benchmark": f"gem_repeat_query_d{depth}",
+        "depth": depth,
+        "rounds": rounds,
+        "first_round_bytes": first_bytes,
+        "mean_repeat_bytes": round(mean_repeat, 1),
+        "table_hits": session.counters.get("table_hits", 0),
+        "table_passes": session.counters.get("table_passes", 0),
+        # A repeat round re-sends query + answer only; the cross-peer
+        # table construction traffic is not paid again.
+        "repeat_reduction_pct": round(
+            100.0 * (1.0 - mean_repeat / first_bytes), 1)
+        if first_bytes else 0.0,
+        # Ratio form for the regress gate: first-round bytes over the mean
+        # repeat round (the table-serve payoff; capped at 3.0 by the gate).
+        "speedup": round(first_bytes / mean_repeat, 2) if mean_repeat else 1.0,
+    }
+
+
+def run_suite(quick: bool = False) -> list[dict]:
+    del quick  # simulated-clock + exact-wire results are deterministic
+    rows = [run_depth(depth) for depth in DEPTHS]
+    rows.append(run_repeat_query())
+    return rows
+
+
+def summary_rows(rows: list[dict]) -> list[dict]:
+    summary = []
+    for row in rows:
+        if row["benchmark"].startswith("mutual_recursion"):
+            summary.append({
+                "benchmark": row["benchmark"],
+                "answers": row["answers"],
+                "inflight_ms": row["inflight_sim_ms"],
+                "gem_ms": row["gem_sim_ms"],
+                "inflight_B": row["inflight_bytes"],
+                "gem_B": row["gem_bytes"],
+                "bytes_ratio": row["bytes_ratio"],
+            })
+        else:
+            summary.append({
+                "benchmark": row["benchmark"],
+                "first_B": row["first_round_bytes"],
+                "repeat_B": row["mean_repeat_bytes"],
+                "table_hits": row["table_hits"],
+                "reduction_pct": row["repeat_reduction_pct"],
+            })
+    return summary
+
+
+def test_gem_soundness_and_repeat_payoff():
+    """Pytest entry: the acceptance floors of the tabling PR."""
+    rows = {row["benchmark"]: row for row in run_suite(quick=True)}
+    for depth in DEPTHS:
+        row = rows[f"mutual_recursion_d{depth}"]
+        assert row["answers"] == 2 * (depth + 1), row
+        assert row["tables_activated"] >= 2, row
+    repeat = rows["gem_repeat_query_d1"]
+    assert repeat["table_hits"] >= 1, repeat
+    assert repeat["repeat_reduction_pct"] >= 30.0, repeat
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="accepted for CI symmetry; the suite is fixed")
+    parser.add_argument("--out", type=Path, default=REPORT_PATH)
+    args = parser.parse_args(argv)
+
+    rows = run_suite(quick=args.quick)
+    print(format_table(summary_rows(rows),
+                       title="E18 - GEM tabling vs in-flight pruning"))
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps({
+        "experiment": "E18",
+        "trajectory": TRAJECTORY,
+        "quick": args.quick,
+        "benchmarks": rows,
+    }, indent=2) + "\n")
+    print(f"JSON report: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

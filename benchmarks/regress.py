@@ -33,6 +33,7 @@ if str(HERE) not in sys.path:  # allow `python benchmarks/regress.py`
 from bench_hotpaths import REPORT_PATH, run_suite, summary_rows  # noqa: E402
 import bench_concurrency  # noqa: E402
 import bench_fanout  # noqa: E402
+import bench_gem  # noqa: E402
 import bench_obs  # noqa: E402
 import bench_persistence  # noqa: E402
 
@@ -178,6 +179,27 @@ def main(argv=None) -> int:
     else:
         failures.append(f"no persistence baseline at {persist_baseline_path}; "
                         "run bench_persistence.py first")
+
+    # E18 tabling gate: the mutual-recursion rows carry 1.0 iff gem produced
+    # the exact expected answer relation (0.0 otherwise, which the 0.8x floor
+    # always fails), and the repeat-query row is the deterministic
+    # first-round/repeat-round byte ratio — a collapse means completed
+    # tables stopped serving repeat queries.
+    gem_baseline_path = bench_gem.REPORT_PATH
+    if gem_baseline_path.exists():
+        gem_baseline = load_baseline(gem_baseline_path)
+        gem_current = [
+            {"benchmark": row["benchmark"], "speedup": row["speedup"]}
+            for row in bench_gem.run_suite(quick=args.quick)
+        ]
+        gem_rows, gem_failures = compare(gem_baseline, gem_current)
+        print(format_table(gem_rows,
+                           title="distributed tabling (E18) regression check"))
+        rows += gem_rows
+        failures += gem_failures
+    else:
+        failures.append(f"no tabling baseline at {gem_baseline_path}; "
+                        "run bench_gem.py first")
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps({
         "baseline": str(args.baseline),

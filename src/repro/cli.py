@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 
 from repro.errors import PeerTrustError
 
-DEMOS = ("quickstart", "scenario1", "scenario2", "grid")
+DEMOS = ("quickstart", "scenario1", "scenario2", "grid", "mutual")
 
 
 @contextmanager
@@ -99,6 +99,11 @@ def _build_demo_world(name: str):
 
         scenario = build_grid_scenario(chain_length=2, key_bits=512)
         return scenario.world, ("Bob", "Cluster", 'clusterAccess("Bob")')
+    if name == "mutual":
+        from repro.scenarios.mutual_membership import build_mutual_membership
+
+        scenario = build_mutual_membership(key_bits=512)
+        return scenario.world, ("Client", "StateU", "member(X)")
     raise PeerTrustError(f"unknown demo {name!r}")
 
 
@@ -123,6 +128,9 @@ def _configure_chaos(world, args) -> None:
         world.transport.max_in_flight = max_in_flight
     if getattr(args, "disclosure_deltas", False):
         world.transport.disclosure_deltas = True
+    tabling = getattr(args, "tabling", None)
+    if tabling and tabling != "inflight":
+        world.transport.tabling = tabling
 
 
 @contextmanager
@@ -396,6 +404,12 @@ def build_parser() -> argparse.ArgumentParser:
         group.add_argument("--disclosure-deltas", action="store_true",
                            help="send repeat credentials as compact hash "
                                 "references within a session")
+        group.add_argument("--tabling", choices=("inflight", "gem"),
+                           default="inflight",
+                           help="cyclic-goal strategy: 'inflight' prunes "
+                                "re-entrant queries (default); 'gem' "
+                                "evaluates them with per-goal tables and "
+                                "distributed completion detection")
 
     def add_stats_option(sub) -> None:
         sub.add_argument("--stats", action="store_true",

@@ -95,6 +95,20 @@ class Suspension:
         return f"Suspension({self.payload!r})"
 
 
+class TableSuspension(Suspension):
+    """A suspension waiting on a goal table rather than a request/reply pair
+    (GEM-style distributed tabling).
+
+    Yielded when the evaluation must perform a *one-way* table exchange —
+    today, delivering a ``TableComplete`` notification to an SCC member —
+    with transport fault/retry semantics but no reply routing.  The driver
+    resumes the generator with ``None`` on success or an exception instance
+    on terminal failure, exactly like :class:`Suspension`.
+    """
+
+    __slots__ = ()
+
+
 @dataclass(frozen=True, slots=True)
 class ProofNode:
     """One step of a proof tree.

@@ -50,7 +50,7 @@ from repro.errors import (
     SignatureError,
     TransientNetworkError,
 )
-from repro.net.message import QueryMessage, ref_matches
+from repro.net.message import QueryMessage, TableAnswerMessage, ref_matches
 from repro.negotiation.session import Session
 from repro.obs import trace as _trace
 from repro.policy.pseudovars import binder, bind_pseudovars_in_literal
@@ -168,6 +168,11 @@ class EvalContext:
             rule_transform=binder(requester, peer.name),
         )
         self.engine.dispatch = self._dispatch
+        # GEM tabling: the answering peer's own TableNode for the goal this
+        # context is evaluating (set by Peer's gem answer path).  When an
+        # absorbed reply is an incomplete TableAnswer, the dependency is
+        # recorded here so SCC completion detection sees it.
+        self.table_node = None
         # Prefetched scatter-gather outcomes, keyed by (target, reduced-goal
         # pattern); consumed (popped) by _remote_solutions when resolution
         # reaches the corresponding goal.
@@ -576,7 +581,16 @@ class EvalContext:
         if request is None:
             return
         goal_key = canonical_literal(reduced)
-        if not self.session.enter_remote(self.peer.name, target, goal_key):
+        # Under GEM tabling, a *table pass* does not prune re-entrant
+        # queries: the answering peer's goal table detects the cycle and
+        # replies with its current (possibly empty) answer set, so recursion
+        # bottoms out one hop later with sound partial answers instead of a
+        # lost branch.  Auxiliary evaluations (release guards, ``$``-policy
+        # grants, sticky obligations) have no table to bottom out in, so
+        # they keep the in-flight prune even in gem mode.
+        gem = self.gem_mode() and self.table_node is not None
+        if not gem and not self.session.enter_remote(
+                self.peer.name, target, goal_key):
             return
         # Failure discipline: transient losses (already retried by the
         # transport) and deterministic faults (oversize, corruption) fail
@@ -619,9 +633,15 @@ class EvalContext:
                 self._note_branch_failure("corrupt", target)
                 return
         finally:
-            self.session.exit_remote(self.peer.name, target, goal_key)
+            if not gem:
+                self.session.exit_remote(self.peer.name, target, goal_key)
 
         yield from self._absorb_reply(goal, reduced, subst, target, reply)
+
+    def gem_mode(self) -> bool:
+        """True when this evaluation runs under GEM distributed tabling."""
+        transport = getattr(self.peer, "transport", None)
+        return getattr(transport, "tabling", "inflight") == "gem"
 
     def _note_branch_failure(self, kind: str, target: str) -> None:
         tracer = _trace.ACTIVE
@@ -663,6 +683,13 @@ class EvalContext:
     ) -> Iterator[tuple[Substitution, ProofNode]]:
         """Absorb half of a remote evaluation: verify and graft each answer
         item (pure computation — never suspends)."""
+        if (self.table_node is not None
+                and isinstance(reply, TableAnswerMessage)
+                and not reply.complete):
+            # The answerer's table is still growing: record the dependency
+            # (even for an empty reply — the subscription itself is what the
+            # SCC completion check must see) and its reachable-order floor.
+            self.table_node.note_dependency(reply.min_order, reply.grew)
         items = getattr(reply, "items", ())
         if not items:
             self.session.log("failure", target, self.peer.name, str(reduced))

@@ -29,6 +29,7 @@ Release semantics implemented in :meth:`_releasable` (default-deny):
 
 from __future__ import annotations
 
+from dataclasses import replace as _replace
 from typing import Callable, Iterable, Optional
 
 from repro.credentials.credential import (
@@ -47,6 +48,8 @@ from repro.datalog.terms import Constant
 from repro.errors import (
     CredentialError,
     KeyError_,
+    MessageTooLargeError,
+    PeerUnavailableError,
     SignatureError,
     TransientNetworkError,
 )
@@ -59,14 +62,23 @@ from repro.net.message import (
     PolicyMessage,
     PolicyRequestMessage,
     QueryMessage,
+    TableAnswerMessage,
+    TableCompleteMessage,
     credential_ref,
     dedup_answer_credentials,
 )
-from repro.datalog.sld import Suspension, unify_literals
+from repro.datalog.sld import Suspension, TableSuspension, unify_literals
 from repro.datalog.substitution import Substitution
-from repro.negotiation.engine import EvalContext, drain_steps
-from repro.negotiation.session import Session
+from repro.negotiation.engine import EvalContext, RemoteCall, drain_steps
+from repro.negotiation.session import (
+    TABLE_ACTIVE,
+    TABLE_COMPLETE,
+    TABLE_TENTATIVE,
+    TableNode,
+    Session,
+)
 from repro.obs import trace as _trace
+from repro.obs.metrics import global_registry
 from repro.policy.pseudovars import bind_pseudovars, bind_pseudovars_in_literal
 from repro.policy.release import (
     credential_release_decisions,
@@ -80,9 +92,21 @@ from repro.policy.sticky import (
 )
 from repro.policy.unipro import UniProRegistry
 
+# GEM distributed-tabling lifecycle events, aggregated across peers
+# (activations and completions live on sessions; the process-wide family is
+# what ``--metrics-out`` renders).
+_TABLING_EVENTS = global_registry().counter(
+    "peertrust_tabling_events_total",
+    help="GEM distributed-tabling lifecycle events",
+    labels=("event",))
+
 
 class Peer:
     """One autonomous party in the network."""
+
+    # Safety cap on a completion leader's fixpoint rounds; answer growth is
+    # monotone over a finite base, so real programs converge far earlier.
+    MAX_FIXPOINT_ROUNDS = 32
 
     def __init__(
         self,
@@ -226,6 +250,8 @@ class Peer:
             return self._handle_disclosure(message)
         if isinstance(message, PolicyRequestMessage):
             return self._handle_policy_request(message)
+        if isinstance(message, TableCompleteMessage):
+            return self._handle_table_complete(message)
         if isinstance(message, (AnswerMessage, PolicyMessage)):
             return None  # replies are consumed inline by request()
         return None
@@ -293,6 +319,11 @@ class Peer:
             session.log("exhausted", self.name, requester, "nesting budget")
             return failure
 
+        if self._gem_tabling():
+            reply = yield from self._answer_query_gem_steps(
+                message, session, requester, suspendable)
+            return reply
+
         session.depth += 1
         try:
             context = EvalContext(
@@ -341,11 +372,22 @@ class Peer:
                 if item.answered_literal is not None:
                     answered_keys.add(canonical_literal(item.answered_literal))
 
-        # Resource-access policies: a predicate may be governed *only* by a
-        # `$` rule (the paper's freeEnroll, §3.1) — access is granted when
-        # the guard and body are provable, with no separate content rule.
+        yield from self._grants_and_hooks_steps(
+            message.goal, requester, session, items, answered_keys, suspendable)
+
+        return self._final_answer(message, session, requester, items)
+
+    def _grants_and_hooks_steps(self, goal: Literal, requester: str,
+                                session: Session, items: list,
+                                answered_keys: set, suspendable: bool):
+        """Append ``$``-policy grants and query-hook items to ``items``
+        (shared tail of the inflight and gem answer paths).
+
+        Resource-access policies: a predicate may be governed *only* by a
+        ``$`` rule (the paper's freeEnroll, §3.1) — access is granted when
+        the guard and body are provable, with no separate content rule."""
         grants = yield from self._release_policy_grants_steps(
-            message.goal, requester, session, True, suspendable)
+            goal, requester, session, True, suspendable)
         for item in grants:
             key = (canonical_literal(item.answered_literal)
                    if item.answered_literal is not None else None)
@@ -357,7 +399,7 @@ class Peer:
                 break
 
         for hook in self.query_hooks:
-            for item in hook(message.goal, requester, session):
+            for item in hook(goal, requester, session):
                 key = (canonical_literal(item.answered_literal)
                        if item.answered_literal is not None else None)
                 if key in answered_keys:
@@ -366,7 +408,10 @@ class Peer:
                 items.append(item)
                 if len(items) >= self.max_answers:
                     break
+        return items
 
+    def _final_answer(self, message: QueryMessage, session: Session,
+                      requester: str, items: list) -> AnswerMessage:
         if items:
             session.log("answer", self.name, requester,
                         f"{message.goal} ({len(items)} item(s))")
@@ -377,6 +422,276 @@ class Peer:
             session_id=session.id, query_id=message.message_id,
             items=dedup_answer_credentials(items))
 
+    # -- GEM distributed tabling (``--tabling gem``) -----------------------------------
+
+    def _gem_tabling(self) -> bool:
+        return getattr(self.transport, "tabling", "inflight") == "gem"
+
+    @staticmethod
+    def _table_floor(node: TableNode) -> int:
+        """Lowest goal-activation order reachable from ``node`` so far —
+        GEM's completion-leader pointer."""
+        if node.min_dep is not None and node.min_dep < node.order:
+            return node.min_dep
+        return node.order
+
+    def _answer_query_gem_steps(self, message: QueryMessage, session: Session,
+                                requester: str, suspendable: bool):
+        """Answer a query through the goal-table registry instead of
+        evaluating unconditionally:
+
+        - a COMPLETE table serves its stored answers (plus requester-specific
+          grants) without re-evaluation;
+        - an ACTIVE table means this query closed a cycle: reply with the
+          answers accumulated *so far* and the table's order floor, so the
+          asker subscribes to the table instead of losing the branch;
+        - otherwise run an evaluation pass.  A pass that consumed no
+          incomplete table completes immediately.  One that did either defers
+          to a lower-ordered leader (TENTATIVE + incremental reply) or — when
+          the floor equals its own order — *is* the SCC leader: it iterates
+          passes to a fixpoint, broadcasts ``TableComplete``, and serves the
+          final answer."""
+        goal = message.goal
+        bound = bind_pseudovars_in_literal(goal, requester, self.name)
+        goal_key = canonical_literal(bound)
+        node = session.table_for(self.name, goal_key)
+
+        if node is not None and node.status == TABLE_COMPLETE:
+            session.counters["table_hits"] += 1
+            _TABLING_EVENTS.labels("table_hits").inc()
+            session.log("table-serve", self.name, requester, str(goal))
+            items, answered_keys = yield from self._table_items_steps(
+                node, goal, requester, session, suspendable)
+            yield from self._grants_and_hooks_steps(
+                goal, requester, session, items, answered_keys, suspendable)
+            return self._final_answer(message, session, requester, items)
+
+        if node is not None and node.status == TABLE_ACTIVE:
+            # Re-entrant (cyclic) query: subscribe the asker to this table.
+            # No grants here — grant proving may evaluate remotely, and the
+            # whole point of this arm is to bottom out without recursion.
+            session.counters["table_subscriptions"] += 1
+            _TABLING_EVENTS.labels("subscriptions").inc()
+            session.log("table-join", self.name, requester,
+                        f"{goal} ({len(node.answers)} answer(s) so far)")
+            items, _ = yield from self._table_items_steps(
+                node, goal, requester, session, suspendable)
+            return TableAnswerMessage(
+                sender=self.name, receiver=requester, session_id=session.id,
+                query_id=message.message_id,
+                items=dedup_answer_credentials(items),
+                complete=False, min_order=self._table_floor(node),
+                grew=node.grew)
+
+        node = session.activate_table(self.name, goal_key)
+        _TABLING_EVENTS.labels("activations").inc()
+        yield from self._table_pass_steps(
+            node, message, session, requester, suspendable)
+
+        if node.min_dep is not None and node.min_dep < node.order:
+            # SCC member but not its leader: stay tentative and hand the
+            # floor upward; the leader's fixpoint will re-query us.
+            node.status = TABLE_TENTATIVE
+            items, _ = yield from self._table_items_steps(
+                node, goal, requester, session, suspendable)
+            return TableAnswerMessage(
+                sender=self.name, receiver=requester, session_id=session.id,
+                query_id=message.message_id,
+                items=dedup_answer_credentials(items),
+                complete=False, min_order=node.min_dep, grew=node.grew)
+
+        if node.min_dep is not None:
+            # The cycle's floor is this very goal: we lead the SCC.
+            yield from self._table_fixpoint_steps(
+                node, message, session, requester, suspendable)
+            node.status = TABLE_COMPLETE
+            session.counters["tables_completed"] += 1
+            yield from self._notify_table_complete_steps(
+                node, session, suspendable)
+        else:
+            node.status = TABLE_COMPLETE
+            session.counters["tables_completed"] += 1
+        _TABLING_EVENTS.labels("completions").inc()
+        items, answered_keys = yield from self._table_items_steps(
+            node, goal, requester, session, suspendable)
+        yield from self._grants_and_hooks_steps(
+            goal, requester, session, items, answered_keys, suspendable)
+        return self._final_answer(message, session, requester, items)
+
+    def _table_pass_steps(self, node: TableNode, message: QueryMessage,
+                          session: Session, requester: str,
+                          suspendable: bool):
+        """One evaluation pass over the table's goal.  Solutions fold into
+        the table *as they stream* — a cyclic sub-query arriving mid-pass
+        sees every answer derived before the cycle closed — and incomplete
+        tables consumed along the way land in ``node.min_dep``/``node.grew``
+        via the evaluation context's dependency hook."""
+        node.begin_pass()
+        session.counters["table_passes"] += 1
+        _TABLING_EVENTS.labels("passes").inc()
+        tracer = _trace.ACTIVE
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "negotiation.table.pass", peer=self.name,
+                goal=str(message.goal), order=node.order, round=node.passes,
+                session=tracer.alias("session", session.id))
+        session.depth += 1
+        try:
+            context = EvalContext(
+                peer=self,
+                session=session,
+                requester=requester,
+                kb=self.kb,
+                stores=[self.credentials, session.received_for(self.name)],
+                allow_remote=True,
+                suspendable=suspendable,
+            )
+            context.table_node = node
+            limit = 1 if message.goal.is_ground() else self.max_answers
+            source = context.iter_query_goal(message.goal, max_solutions=limit)
+            outcome = None
+            while True:
+                try:
+                    item = source.send(outcome)
+                except StopIteration:
+                    break
+                outcome = None
+                if isinstance(item, Suspension):
+                    outcome = yield item
+                    continue
+                answered = message.goal.apply(item.subst)
+                if node.add_answer(canonical_literal(answered),
+                                   (answered, item)):
+                    session.counters["table_answers"] += 1
+        except TransientNetworkError as error:
+            # Same degradation as the inflight path; answers already folded
+            # this pass stay (the table is monotone and every entry was
+            # derived soundly before the outage).
+            session.counters["degraded_answers"] += 1
+            session.log("degraded", self.name, requester, str(error))
+        finally:
+            session.depth -= 1
+            if span is not None:
+                tracer.end(span, answers=len(node.answers), grew=node.grew,
+                           floor=self._table_floor(node))
+
+    def _table_items_steps(self, node: TableNode, goal: Literal,
+                           requester: str, session: Session,
+                           suspendable: bool):
+        """Build the wire items for ``requester`` from the table's stored
+        solutions.  Release/sticky checks (and therefore disclosure sets)
+        are per-requester, so built items cache under the requester; the
+        bindings are recomputed against *this* query's variable names."""
+        items: list[AnswerItem] = []
+        answered_keys: set[tuple] = set()
+        cache = node.items_for.setdefault(requester, {})
+        limit = 1 if goal.is_ground() else self.max_answers
+        for answer_key, (answered, solution) in list(node.answers.items()):
+            if len(items) >= limit:
+                break
+            subst = unify_literals(goal, answered.rename({}),
+                                   Substitution.empty())
+            if subst is None:
+                continue
+            cached = cache.get(answer_key)
+            if cached is None:
+                built = yield from self._build_answer_item_steps(
+                    goal, solution, requester, session, suspendable,
+                    answered=answered)
+                cached = cache[answer_key] = (
+                    built if built is not None else False)
+            if cached is False:
+                continue  # withheld for this requester (release denied)
+            bindings = {
+                variable.name: subst.resolve(variable)
+                for variable in goal.variables()
+                if subst.lookup(variable) is not None
+            }
+            items.append(_replace(cached, bindings=bindings))
+            answered_keys.add(answer_key)
+        return items, answered_keys
+
+    def _table_fixpoint_steps(self, node: TableNode, message: QueryMessage,
+                              session: Session, requester: str,
+                              suspendable: bool):
+        """Leader-side termination: re-run evaluation passes (fresh query
+        ids, so nothing dedups against earlier rounds) until a pass neither
+        adds an answer here nor consumes a growing table anywhere in the
+        SCC.  Growth is monotone over a finite Herbrand base, so this
+        converges; MAX_FIXPOINT_ROUNDS only guards against runaway bugs."""
+        tracer = _trace.ACTIVE
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "negotiation.table.fixpoint", peer=self.name,
+                goal=str(message.goal), order=node.order,
+                session=tracer.alias("session", session.id))
+        rounds = 0
+        try:
+            for _ in range(self.MAX_FIXPOINT_ROUNDS):
+                rounds += 1
+                session.counters["table_fixpoint_rounds"] += 1
+                _TABLING_EVENTS.labels("fixpoint_rounds").inc()
+                yield from self._table_pass_steps(
+                    node, message, session, requester, suspendable)
+                if not node.grew:
+                    break
+            else:
+                session.counters["table_fixpoint_capped"] += 1
+                session.log("table-capped", self.name, requester,
+                            str(message.goal))
+        finally:
+            if span is not None:
+                tracer.end(span, rounds=rounds, answers=len(node.answers))
+
+    def _notify_table_complete_steps(self, node: TableNode, session: Session,
+                                     suspendable: bool):
+        """Broadcast SCC completion: promote our own tentative tables at or
+        above the leader's order, then send each other member owner one
+        ``TableComplete``.  A lost notification degrades soundly — the
+        member's tables stay tentative and simply re-evaluate on the next
+        query — so every delivery failure short of a deadline is absorbed."""
+        session.complete_tables(self.name, node.order)
+        owners = sorted({
+            owner for (owner, _key), other in session.tables.items()
+            if owner != self.name and other.status == TABLE_TENTATIVE
+            and other.order >= node.order})
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("negotiation.table.complete", peer=self.name,
+                         order=node.order, members=len(owners),
+                         session=tracer.alias("session", session.id))
+        for owner in owners:
+            notice = TableCompleteMessage(
+                sender=self.name, receiver=owner, session_id=session.id,
+                threshold=node.order)
+            session.log("table-notify", self.name, owner,
+                        f"complete >= order {node.order}")
+            _TABLING_EVENTS.labels("completions_sent").inc()
+            try:
+                if suspendable:
+                    outcome = yield TableSuspension(
+                        RemoteCall(notice, session))
+                    if isinstance(outcome, BaseException):
+                        raise outcome
+                else:
+                    self.transport.send(notice)
+            except (TransientNetworkError, MessageTooLargeError,
+                    SignatureError, PeerUnavailableError) as error:
+                session.counters["table_complete_lost"] += 1
+                _TABLING_EVENTS.labels("completions_lost").inc()
+                session.log("table-notify-lost", self.name, owner, str(error))
+
+    def _handle_table_complete(self,
+                               message: TableCompleteMessage) -> None:
+        session = self._session(message.session_id, message.sender)
+        promoted = session.complete_tables(self.name, message.threshold)
+        _TABLING_EVENTS.labels("completions_received").inc()
+        session.log("table-complete", self.name, message.sender,
+                    f"{promoted} table(s) at order >= {message.threshold}")
+        return None
+
     def _build_answer_item_steps(
         self,
         goal: Literal,
@@ -384,11 +699,17 @@ class Peer:
         requester: str,
         session: Session,
         suspendable: bool = False,
+        answered: Optional[Literal] = None,
     ):
         """Step-generator form of answer-item construction; release and
         sticky obligations may trigger (suspendable) counter-queries.
-        Returns the :class:`AnswerItem`, or ``None`` when withheld."""
-        answered = goal.apply(solution.subst)
+        Returns the :class:`AnswerItem`, or ``None`` when withheld.
+
+        ``answered`` overrides the derived literal when serving from a goal
+        table, whose stored solutions were produced for a different query's
+        variable naming."""
+        if answered is None:
+            answered = goal.apply(solution.subst)
 
         allowed = yield from self._answer_releasable_steps(
             answered, solution, requester, session, suspendable)

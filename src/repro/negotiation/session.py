@@ -31,6 +31,25 @@ from repro.credentials.store import CredentialStore
 
 _session_counter = itertools.count(1)
 
+# Process-wide aggregate of every session's counters.  Sessions are evicted
+# or forgotten long before ``--metrics-out`` renders, so the obs registry
+# reads this survivor (as the ``peertrust_negotiation_*`` family) instead of
+# walking live sessions.
+NEGOTIATION_COUNTERS: Counter = Counter()
+
+
+class SessionCounters(Counter):
+    """Per-session :class:`Counter` mirroring every increment into the
+    process-wide :data:`NEGOTIATION_COUNTERS` aggregate.
+
+    All session accounting goes through ``counters[key] += n`` (which the
+    ``Counter`` machinery routes via ``__setitem__``), so intercepting the
+    single mutation point keeps the mirror exact without touching callers."""
+
+    def __setitem__(self, key: str, value: int) -> None:
+        NEGOTIATION_COUNTERS[key] += value - self.get(key, 0)
+        super().__setitem__(key, value)
+
 
 def next_session_id(prefix: str = "session") -> str:
     return f"{prefix}-{next(_session_counter)}"
@@ -42,6 +61,68 @@ def reset_session_ids() -> None:
     need this)."""
     global _session_counter
     _session_counter = itertools.count(1)
+
+
+# Goal-table lifecycle (GEM-style distributed tabling, ``--tabling gem``):
+# ACTIVE while an evaluation pass over the goal is in progress, TENTATIVE
+# once a pass finished but the table's SCC may still grow, COMPLETE once the
+# SCC's completion leader has detected a fixpoint.
+TABLE_ACTIVE = "active"
+TABLE_TENTATIVE = "tentative"
+TABLE_COMPLETE = "complete"
+
+
+class TableNode:
+    """One per-goal answer table (GEM-style distributed tabling).
+
+    ``order`` is the session-global activation order: lower order = "higher"
+    goal in GEM's goal ordering.  An SCC's completion leader is the member
+    with the lowest order reachable from the cycle; it alone runs fixpoint
+    rounds and broadcasts completion.  ``answers`` accumulates solutions
+    monotonically across passes, keyed by the canonical form of the answered
+    literal; ``items_for`` caches the per-requester wire items built from
+    them (disclosure decisions are per requester)."""
+
+    __slots__ = ("owner", "goal_key", "order", "status", "answers",
+                 "items_for", "min_dep", "grew", "passes")
+
+    def __init__(self, owner: str, goal_key: tuple, order: int) -> None:
+        self.owner = owner
+        self.goal_key = goal_key
+        self.order = order
+        self.status = TABLE_ACTIVE
+        self.answers: dict[tuple, object] = {}
+        self.items_for: dict[str, dict[tuple, object]] = {}
+        # Per-pass bookkeeping, reset by begin_pass():
+        self.min_dep: Optional[int] = None   # lowest incomplete dep order seen
+        self.grew = False                    # did this pass add any answer?
+        self.passes = 0
+
+    def begin_pass(self) -> None:
+        self.status = TABLE_ACTIVE
+        self.min_dep = None
+        self.grew = False
+        self.passes += 1
+
+    def note_dependency(self, min_order: int, dep_grew: bool) -> None:
+        """Record that this pass consumed an *incomplete* table whose
+        reachable-order floor is ``min_order``."""
+        if self.min_dep is None or min_order < self.min_dep:
+            self.min_dep = min_order
+        if dep_grew:
+            self.grew = True
+
+    def add_answer(self, answer_key: tuple, solution: object) -> bool:
+        """Fold one solution in; True when it is new to the table."""
+        if answer_key in self.answers:
+            return False
+        self.answers[answer_key] = solution
+        self.grew = True
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TableNode({self.owner!r}, order={self.order}, "
+                f"{self.status}, {len(self.answers)} answers)")
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,7 +159,12 @@ class Session:
         self.deadline_at_ms = deadline_at_ms
         self._deadline_noted = False
         self.in_flight: set[tuple[str, str, tuple]] = set()
-        self.counters: Counter = Counter()
+        # Goal-table registry (GEM tabling): (owner, goal_key) -> TableNode.
+        # In a real deployment each peer holds only its own tables; this
+        # shared dict is the union of those views (like the overlays above).
+        self.tables: dict[tuple[str, tuple], TableNode] = {}
+        self._table_order = itertools.count(1)
+        self.counters: Counter = SessionCounters()
         self.transcript: list[TranscriptEvent] = []
         self._received: dict[str, CredentialStore] = {}
         self._release_cache: dict[tuple, bool] = {}
@@ -128,6 +214,44 @@ class Session:
     def nesting_available(self) -> bool:
         return self.depth < self.max_nesting
 
+    # -- goal tables (GEM distributed tabling) ---------------------------------------
+
+    def table_for(self, owner: str, goal_key: tuple) -> Optional["TableNode"]:
+        return self.tables.get((owner, goal_key))
+
+    def activate_table(self, owner: str, goal_key: tuple) -> "TableNode":
+        """Fetch-or-create the table for ``(owner, goal)``; newly created
+        tables get the next session-global activation order."""
+        key = (owner, goal_key)
+        node = self.tables.get(key)
+        if node is None:
+            node = self.tables[key] = TableNode(
+                owner, goal_key, next(self._table_order))
+            self.counters["tables_activated"] += 1
+        return node
+
+    def complete_tables(self, owner: str, threshold: int) -> int:
+        """Promote ``owner``'s tentative tables with activation order
+        ``>= threshold`` to complete (a ``TableComplete`` broadcast landed);
+        returns how many were promoted."""
+        promoted = 0
+        for (table_owner, _), node in self.tables.items():
+            if (table_owner == owner and node.order >= threshold
+                    and node.status == TABLE_TENTATIVE):
+                node.status = TABLE_COMPLETE
+                promoted += 1
+        if promoted:
+            self.counters["tables_completed"] += promoted
+        return promoted
+
+    def drop_tables_for(self, owner: str) -> int:
+        """Forget every table ``owner`` holds (the peer crashed: its next
+        incarnation must not inherit phantom table state)."""
+        stale = [key for key in self.tables if key[0] == owner]
+        for key in stale:
+            del self.tables[key]
+        return len(stale)
+
     # -- deadlines ------------------------------------------------------------------
 
     def set_deadline(self, at_ms: float) -> None:
@@ -162,6 +286,15 @@ class Session:
                      f"{leaked} in-flight entr{'y' if leaked == 1 else 'ies'} "
                      "stranded; cleared")
             self.in_flight.clear()
+        stale = [node for node in self.tables.values()
+                 if node.status == TABLE_ACTIVE]
+        if stale:
+            # A table still ACTIVE after the negotiation ended means an
+            # evaluation pass died mid-flight (exception, deadline); demote
+            # so a retained session cannot serve it as forever-pending.
+            self.counters["tables_leaked"] += len(stale)
+            for node in stale:
+                node.status = TABLE_TENTATIVE
         return leaked
 
     # -- received-credential overlays ----------------------------------------------

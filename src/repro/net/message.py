@@ -249,6 +249,54 @@ def dedup_answer_credentials(
 
 
 @dataclass(frozen=True, slots=True)
+class TableAnswerMessage(AnswerMessage):
+    """Incremental reply from a goal table that is not yet complete
+    (GEM-style distributed tabling, ``--tabling gem``).
+
+    ``items`` carries the table's *entire current* answer set — replaying
+    the full set (rather than per-subscriber deltas) keeps join goals sound
+    without semi-naive bookkeeping.  ``complete=False`` tells the asker the
+    table may still grow; ``min_order`` is the lowest goal-activation order
+    reachable from the answering table (GEM's higher/lower-goal ordering:
+    the SCC member holding that order is the completion leader); ``grew``
+    reports whether the answering pass produced any answer the table had
+    not seen before (the leader's fixpoint test)."""
+
+    complete: bool = False
+    min_order: int = 0
+    grew: bool = False
+
+    def encode(self) -> bytes:
+        return (AnswerMessage.encode(self)
+                + (b"\x01" if self.complete else b"\x00")
+                + (self.min_order & 0xFFFFFFFF).to_bytes(4, "big")
+                + (b"\x01" if self.grew else b"\x00"))
+
+    def wire_size(self) -> int:
+        return AnswerMessage.wire_size(self) + 1 + 4 + 1
+
+
+@dataclass(frozen=True, slots=True)
+class TableCompleteMessage(Message):
+    """One-way notification that an SCC of goal tables is complete.
+
+    Sent by the SCC's completion leader once a fixpoint round produced no
+    new answers anywhere in the component.  The receiver promotes every
+    tentative table of this session whose activation order is ``>=
+    threshold`` (the leader's own order) to complete, after which queries
+    against those tables are served from storage without re-evaluation."""
+
+    threshold: int = 0
+
+    def encode(self) -> bytes:
+        return (Message.encode(self)
+                + (self.threshold & 0xFFFFFFFF).to_bytes(4, "big"))
+
+    def wire_size(self) -> int:
+        return Message.wire_size(self) + 4
+
+
+@dataclass(frozen=True, slots=True)
 class DisclosureMessage(Message):
     """Unsolicited credential batch (eager strategy round)."""
 

@@ -433,4 +433,12 @@ def install_default_collectors(registry: Optional[MetricsRegistry] = None) -> Me
                     default=0),
         kind="gauge",
         help="deepest scheduler event queue seen by any live transport")
+
+    from repro.negotiation.session import NEGOTIATION_COUNTERS
+
+    reg.register_callback(
+        "peertrust_negotiation_counters_total",
+        lambda: dict(NEGOTIATION_COUNTERS), label="counter",
+        help="session counters (loops detected, in-flight leaks, queries/"
+             "answers/denials, tabling lifecycle) summed over all sessions")
     return reg

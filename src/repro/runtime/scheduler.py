@@ -38,7 +38,7 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
-from repro.datalog.sld import Suspension
+from repro.datalog.sld import Suspension, TableSuspension
 from repro.errors import (
     DeadlineExceeded,
     MessageTooLargeError,
@@ -419,6 +419,126 @@ class RequestExchange:
         self.on_outcome(outcome)
 
 
+class TableExchange:
+    """One one-way tabling notification (``TableComplete``) unrolled into
+    events, mirroring ``Transport.send`` + ``Transport._with_retries``:
+    transient losses back off and retry with the standard accounting; any
+    other failure (unreachable peer, oversize, checksum) lands immediately,
+    because the inline send raises those without retrying.  ``on_outcome``
+    receives ``None`` on delivery or the exception instance the inline path
+    would have raised."""
+
+    def __init__(self, scheduler: EventScheduler, message: Message,
+                 on_outcome: Callable[[object], None]) -> None:
+        self.scheduler = scheduler
+        self.transport = scheduler.transport
+        self.message = message
+        self.on_outcome = on_outcome
+        self.attempt = 0
+        self.completed = False
+        self.span = None
+        retry = self.transport.retry
+        self.attempts_allowed = retry.max_attempts if retry is not None else 1
+
+    def start(self) -> None:
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            self.span = tracer.begin(
+                "table-notify", kind=self.message.kind,
+                sender=self.message.sender, receiver=self.message.receiver,
+                msg=tracer.alias("msg", self.message.message_id),
+                session=tracer.alias("session", self.message.session_id))
+        self._attempt_action()
+
+    @_under_span
+    def _attempt_action(self) -> None:
+        self.attempt += 1
+        transport = self.transport
+        try:
+            transport._check_deadline(self.message)
+        except DeadlineExceeded as error:
+            self.finish(error)
+            return
+        try:
+            outcome = transport.begin_transmission(self.message)
+        except MessageTooLargeError as error:
+            self.finish(error)
+            return
+        if outcome.error is not None:
+            if isinstance(outcome.error, TransientNetworkError):
+                self._fail_attempt(outcome.error, outcome.delay_ms)
+            else:
+                # Inline ``send`` raises non-transients (peer down) straight
+                # through the retry loop — no backoff, no second attempt.
+                self._finish_after(outcome.delay_ms, outcome.error)
+            return
+        decision = outcome.decision
+        payload = self.message
+        if decision is not None and decision.corrupt:
+            try:
+                payload = transport._apply_corruption(self.message)
+            except SignatureError as error:
+                self._finish_after(outcome.delay_ms, error)
+                return
+        self.scheduler.schedule(
+            outcome.delay_ms,
+            self.scheduler._alias(self.message) + " deliver",
+            lambda: self._deliver(payload, decision))
+
+    def _fail_attempt(self, error: TransientNetworkError,
+                      delay_ms: float) -> None:
+        transport = self.transport
+        if self.attempt < self.attempts_allowed:
+            backoff = transport.retry.backoff_ms(
+                self.attempt, transport._backoff_rng)
+            transport.stats.retries += 1
+            transport._count_for_session(self.message, "retries")
+            transport.stats.simulated_ms += backoff
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event("transport.retry", parent=self.span,
+                             kind=self.message.kind, attempt=self.attempt + 1,
+                             backoff_ms=backoff,
+                             msg=tracer.alias("msg", self.message.message_id))
+            self.scheduler.schedule(
+                delay_ms + backoff,
+                self.scheduler._alias(self.message) + " retry",
+                self._attempt_action)
+            return
+        transport._count_for_session(self.message, "gave_up")
+        self._finish_after(delay_ms, error)
+
+    def _finish_after(self, delay_ms: float, outcome: object) -> None:
+        self.scheduler.schedule(
+            delay_ms,
+            self.scheduler._alias(self.message) + " fail",
+            lambda: self.finish(outcome))
+
+    @_under_span
+    def _deliver(self, payload: Message, decision) -> None:
+        """Arrival: the oneway dedup ledger (shared with the inline path)
+        suppresses redelivered duplicates, with the same zero-latency
+        accounting for the network's extra copy."""
+        transport = self.transport
+        transport._dispatch_oneway(payload)
+        if decision is not None and decision.duplicate:
+            transport.stats.record(
+                self.message, self.message.wire_size(), 0.0)
+            transport._dispatch_oneway(payload)
+        self.finish(None)
+
+    def finish(self, outcome: object) -> None:
+        if self.completed:
+            return
+        self.completed = True
+        tracer = _trace.ACTIVE
+        if tracer is not None and self.span is not None:
+            tracer.end(self.span, attempts=self.attempt,
+                       ok=outcome is None,
+                       outcome=type(outcome).__name__)
+        self.on_outcome(outcome)
+
+
 class GatherExchange:
     """N concurrent :class:`RequestExchange`s under one continuation — the
     scatter half of scatter-gather evaluation.
@@ -527,8 +647,15 @@ class EvaluationTask:
                                on_outcome=self._step).start()
                 return
             ctx = getattr(call, "trace_ctx", None)
-            exchange = RequestExchange(self.scheduler, call.message,
-                                       on_outcome=self._step)
+            if isinstance(item, TableSuspension):
+                # One-way tabling notification: no reply to wait on, but the
+                # sender still blocks for the delivery outcome (the inline
+                # ``send`` returns only after charging the full exchange).
+                exchange = TableExchange(self.scheduler, call.message,
+                                         on_outcome=self._step)
+            else:
+                exchange = RequestExchange(self.scheduler, call.message,
+                                           on_outcome=self._step)
             if tracer is not None and ctx is not None:
                 with tracer.use(ctx):
                     exchange.start()

@@ -230,6 +230,15 @@ def crash_peer(transport, peer_name: str) -> None:
             del session._wire_ledger[link]
         for holders in session._holders.values():
             holders.discard(peer_name)
+        # Loop/tabling state is evaluation-stack residue, not durable state:
+        # a restarted peer has no suspended evaluations, so it must not
+        # inherit phantom in-flight markers (which would make fresh queries
+        # look re-entrant) or goal tables (whose ACTIVE/TENTATIVE entries
+        # belong to the dead process's call stack).
+        for entry in [entry for entry in session.in_flight
+                      if entry[0] == peer_name]:
+            session.in_flight.discard(entry)
+        session.drop_tables_for(peer_name)
     for cache in transport._reply_cache.values():
         for key in [key for key in cache if key[1] == peer_name]:
             del cache[key]

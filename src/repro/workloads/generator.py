@@ -244,6 +244,47 @@ def build_fanout_workload(width: int, key_bits: int = 512) -> Workload:
 
 
 # ---------------------------------------------------------------------------
+# E18: mutually recursive cross-peer policies (tabling strategy sweeps)
+# ---------------------------------------------------------------------------
+
+def build_mutual_membership_workload(depth: int = 1,
+                                     key_bits: int = 512) -> Workload:
+    """A federation of ``depth + 1`` institution pairs with mutually
+    recursive membership policies, generalising
+    :mod:`repro.scenarios.mutual_membership`.
+
+    ``Org0a``/``Org0b`` recognise each other's members directly; each
+    deeper pair additionally delegates to the pair above it, so the goal
+    ``member(X)`` on ``Org0a`` crosses ``depth`` nested mutual cycles
+    before bottoming out.  Every ``Org<i><side>`` holds one local member,
+    so the complete answer relation has ``2 * (depth + 1)`` tuples —
+    identical under ``--tabling inflight`` and ``--tabling gem``."""
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    world = World(key_bits=key_bits)
+    pair_count = depth + 1
+    answers = 2 * pair_count
+    nesting = 6 * pair_count + 20
+    for level in range(pair_count):
+        for side, other in (("a", "b"), ("b", "a")):
+            lines = [
+                "member(X) <-{true} localMember(X).",
+                f'member(X) <-{{true}} member(X) @ "Org{level}{other}".',
+                f'localMember("m{level}{side}").',
+            ]
+            if level + 1 < pair_count:
+                lines.append(
+                    f'member(X) <-{{true}} member(X) @ "Org{level + 1}{side}".')
+            world.add_peer(f"Org{level}{side}", "\n".join(lines),
+                           max_answers=answers + 2, max_nesting=nesting)
+    client = world.add_peer("Client", max_answers=answers + 2,
+                            max_nesting=nesting)
+    world.distribute_keys()
+    return Workload(world, client, "Org0a", parse_literal("member(X)"),
+                    description=f"mutual membership depth={depth}")
+
+
+# ---------------------------------------------------------------------------
 # E10: negotiations that must terminate in failure
 # ---------------------------------------------------------------------------
 

@@ -283,6 +283,55 @@ class TestCrashRecoveryWindows:
         assert warm_session.counters["delta_refs_sent"] >= 1
 
 
+class TestRecoveryLoopState:
+    """A restarted peer has no suspended evaluations, so restart must not
+    resurrect the dead process's loop-detection or tabling residue: phantom
+    ``in_flight`` markers would make the peer's next query on the same goal
+    look re-entrant (silently pruned), and phantom ACTIVE tables would serve
+    subscriptions nothing is evaluating."""
+
+    def _session_with_residue(self, attach=None):
+        from repro.workloads.generator import build_bilateral_fleet
+
+        fleet = build_bilateral_fleet(2, key_bits=KEY_BITS)
+        if attach is not None:
+            attach(fleet.world)
+        transport = fleet.world.transport
+        session = transport.sessions.get_or_create(
+            "residue-session", "Client0", 30)
+        goal_key = ("member", 1)
+        session.enter_remote("Client0", "Server0", goal_key)
+        session.enter_remote("Server0", "Server1", goal_key)
+        session.activate_table("Client0", goal_key)
+        session.activate_table("Server0", goal_key)
+        return transport, session, goal_key
+
+    def test_crash_discards_phantom_in_flight_and_tables(self):
+        from repro.storage.recovery import crash_peer
+
+        transport, session, goal_key = self._session_with_residue()
+        crash_peer(transport, "Client0")
+        # The crashed asker's marker and table are gone; an unrelated
+        # peer's survive (its evaluation is still genuinely suspended).
+        assert ("Client0", "Server0", goal_key) not in session.in_flight
+        assert ("Server0", "Server1", goal_key) in session.in_flight
+        assert session.table_for("Client0", goal_key) is None
+        assert session.table_for("Server0", goal_key) is not None
+        # The goal is queryable again, not phantom-pruned.
+        assert session.enter_remote("Client0", "Server0", goal_key)
+        assert session.counters.get("loops_detected", 0) == 0
+
+    def test_warm_recovery_does_not_restore_residue(self, attach_stores):
+        from repro.storage.recovery import restart_peer
+
+        transport, session, goal_key = self._session_with_residue(
+            attach=attach_stores)
+        report = restart_peer(transport, "Client0")
+        assert report.warm
+        assert ("Client0", "Server0", goal_key) not in session.in_flight
+        assert session.table_for("Client0", goal_key) is None
+
+
 class TestDeadlines:
     def test_deadline_exhaustion_is_a_clean_outcome(self, network):
         # A tiny budget expires partway into the nested counter-queries.

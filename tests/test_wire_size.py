@@ -21,6 +21,8 @@ from repro.net.message import (
     PolicyMessage,
     PolicyRequestMessage,
     QueryMessage,
+    TableAnswerMessage,
+    TableCompleteMessage,
     credential_ref,
 )
 from repro.world import World
@@ -108,3 +110,21 @@ def test_policy_wire_size(envelope, policy_name, rules, granted):
 @given(ref=refs)
 def test_credential_ref_wire_size(ref):
     assert ref.wire_size() == len(ref.encode())
+
+
+@given(envelope=envelopes, query_id=ids,
+       items=st.lists(answer_items, max_size=3).map(tuple),
+       complete=st.booleans(),
+       min_order=st.integers(min_value=0, max_value=2**33),
+       grew=st.booleans())
+def test_table_answer_wire_size(envelope, query_id, items, complete,
+                                min_order, grew):
+    _check(TableAnswerMessage(query_id=query_id, items=items,
+                              complete=complete, min_order=min_order,
+                              grew=grew, **envelope))
+
+
+@given(envelope=envelopes,
+       threshold=st.integers(min_value=0, max_value=2**33))
+def test_table_complete_wire_size(envelope, threshold):
+    _check(TableCompleteMessage(threshold=threshold, **envelope))

@@ -36,9 +36,12 @@ def _obs_scope(args, world):
     simulated clock for the duration of the command and exports the JSONL
     trace on the way out (same seed ⇒ byte-identical file).
     ``--metrics-out PATH`` dumps the full registry in Prometheus text
-    format after the run."""
+    format after the run.  ``--flight-recorder PATH`` starts the run with
+    a clean flight recorder and writes any post-mortem dumps it collected
+    (negotiation failures, crash recoveries) to ``PATH`` as JSONL."""
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
+    flightrec_path = getattr(args, "flight_recorder", None)
     tracer = None
     if trace_path:
         from repro.obs import trace as obs_trace
@@ -46,6 +49,10 @@ def _obs_scope(args, world):
         transport = world.transport
         tracer = obs_trace.Tracer(clock=lambda: transport.now_ms)
         obs_trace.activate(tracer)
+    if flightrec_path:
+        from repro.obs.flightrec import RECORDER
+
+        RECORDER.reset()
     try:
         yield
     finally:
@@ -65,6 +72,15 @@ def _obs_scope(args, world):
             install_default_collectors()
             atomic_write_text(metrics_path,
                               global_registry().render_prometheus())
+        if flightrec_path:
+            import json
+
+            from repro.obs.flightrec import RECORDER
+            from repro.storage.atomic import atomic_write_text
+
+            atomic_write_text(flightrec_path, "".join(
+                json.dumps(dump, sort_keys=True) + "\n"
+                for dump in RECORDER.dumps))
 
 
 def _build_demo_world(name: str):
@@ -212,8 +228,22 @@ def _run_negotiation(world, requester_name: str, provider_name: str,
     print("\ntranscript:", file=out)
     print(result.session.render_transcript(), file=out)
     if show_stats:
+        from repro.workloads.metrics import (
+            negotiation_quantiles,
+            record_negotiation,
+        )
+
+        record_negotiation(stats)
         _print_transport_stats(out, stats)
         _print_cache_stats(out, session=result.session)
+        quantiles = negotiation_quantiles()
+        print("\nnegotiation distributions (this process):", file=out)
+        for label, values in (("sim_ms", quantiles["sim_ms"]),
+                              ("messages", quantiles["messages"])):
+            rendered = ", ".join(
+                f"p{int(q * 100)}={value:g}"
+                for q, value in sorted(values.items()) if value is not None)
+            print(f"  {label}: {rendered}", file=out)
     return 0 if result.granted else 1
 
 
@@ -348,11 +378,35 @@ def cmd_trace_view(args, out) -> int:
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    if args.summary:
+    if args.critical_path:
+        from repro.obs.critpath import render_critical_path
+
+        print(render_critical_path(records), file=out, end="")
+    elif args.summary:
         print(render_summary(records), file=out, end="")
     else:
         print(render_timeline(records, width=args.width), file=out, end="")
     return 0
+
+
+def cmd_slo_check(args, out) -> int:
+    from repro.obs.slo import load_spec
+    from repro.workloads.generator import build_bilateral_fleet
+
+    spec = load_spec(args.spec)
+    fleet = build_bilateral_fleet(args.pairs, key_bits=args.key_bits)
+    _report, slo_report = fleet.run_against_slo(
+        spec, stagger_ms=args.stagger_ms)
+    print(slo_report.render(), file=out, end="")
+    if args.json:
+        import json
+
+        from repro.storage.atomic import atomic_write_text
+
+        atomic_write_text(
+            args.json,
+            json.dumps(slo_report.as_dict(), indent=2, sort_keys=True) + "\n")
+    return 0 if slo_report.ok else 1
 
 
 def cmd_version(args, out) -> int:
@@ -426,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
         group.add_argument("--metrics-out", metavar="PATH", default=None,
                            help="write a Prometheus-style text dump of the "
                                 "metrics registry after the run")
+        group.add_argument("--flight-recorder", metavar="PATH", default=None,
+                           help="write the flight recorder's post-mortem "
+                                "dumps (negotiation failures, crash "
+                                "recoveries) to PATH as JSONL")
 
     def add_storage_options(sub) -> None:
         group = sub.add_argument_group(
@@ -488,7 +546,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timeline width in characters (default 64)")
     p.add_argument("--summary", action="store_true",
                    help="aggregate per-name durations instead of the tree")
+    p.add_argument("--critical-path", action="store_true",
+                   help="extract the longest sim-time path and per-category "
+                        "blame instead of the tree")
     p.set_defaults(handler=cmd_trace_view)
+
+    p = subparsers.add_parser(
+        "slo-check",
+        help="run the bilateral fleet workload against a declarative SLO "
+             "spec; exit 0 on pass, 1 on violation")
+    p.add_argument("spec", help="SLO spec JSON (see repro.obs.slo)")
+    p.add_argument("--pairs", type=int, default=4, metavar="N",
+                   help="bilateral client/server pairs in the fleet "
+                        "(default 4)")
+    p.add_argument("--stagger-ms", type=float, default=0.0, metavar="MS",
+                   help="per-pair start offset on the simulated clock")
+    p.add_argument("--key-bits", type=int, default=512, metavar="N",
+                   help="RSA modulus size for the fleet's keys (default 512)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the machine-readable report to PATH")
+    p.set_defaults(handler=cmd_slo_check)
 
     p = subparsers.add_parser("version", help="print the library version")
     p.set_defaults(handler=cmd_version)

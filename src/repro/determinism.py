@@ -14,14 +14,17 @@ from __future__ import annotations
 from repro.datalog.terms import reset_fresh_variables
 from repro.negotiation.session import reset_session_ids
 from repro.net.message import reset_message_ids
+from repro.obs.flightrec import RECORDER as _FLIGHT_RECORDER
 from repro.storage.store import reset_txn_ids
 
 __all__ = ["reset_all"]
 
 
 def reset_all() -> None:
-    """Restart every process-wide id counter."""
+    """Restart every process-wide id counter (and drop the flight
+    recorder's rings, which are keyed by those ids)."""
     reset_message_ids()
     reset_session_ids()
     reset_fresh_variables()
     reset_txn_ids()
+    _FLIGHT_RECORDER.reset()

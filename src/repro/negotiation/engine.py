@@ -53,6 +53,7 @@ from repro.errors import (
 from repro.net.message import QueryMessage, TableAnswerMessage, ref_matches
 from repro.negotiation.session import Session
 from repro.obs import trace as _trace
+from repro.obs.flightrec import RECORDER as _FLIGHTREC
 from repro.policy.pseudovars import binder, bind_pseudovars_in_literal
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -644,6 +645,10 @@ class EvalContext:
         return getattr(transport, "tabling", "inflight") == "gem"
 
     def _note_branch_failure(self, kind: str, target: str) -> None:
+        transport = getattr(self.peer, "transport", None)
+        _FLIGHTREC.note(
+            getattr(transport, "now_ms", 0.0), self.session.id,
+            "branch-failed", self.peer.name, target, kind)
         tracer = _trace.ACTIVE
         if tracer is not None:
             tracer.event("negotiation.branch_failed",

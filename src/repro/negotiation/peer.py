@@ -78,6 +78,7 @@ from repro.negotiation.session import (
     Session,
 )
 from repro.obs import trace as _trace
+from repro.obs.flightrec import RECORDER as _FLIGHTREC
 from repro.obs.metrics import global_registry
 from repro.policy.pseudovars import bind_pseudovars, bind_pseudovars_in_literal
 from repro.policy.release import (
@@ -417,6 +418,9 @@ class Peer:
                         f"{message.goal} ({len(items)} item(s))")
         else:
             session.log("deny", self.name, requester, str(message.goal))
+            _FLIGHTREC.note(
+                getattr(self.transport, "now_ms", 0.0), session.id,
+                "deny", self.name, requester, str(message.goal))
         return AnswerMessage(
             sender=self.name, receiver=requester,
             session_id=session.id, query_id=message.message_id,

@@ -38,6 +38,7 @@ from repro.errors import (
 )
 from repro.net.message import DisclosureMessage, QueryMessage
 from repro.negotiation.engine import EvalContext
+from repro.obs import flightrec
 from repro.negotiation.peer import Peer
 from repro.negotiation.result import NegotiationResult
 from repro.negotiation.session import next_session_id
@@ -96,11 +97,15 @@ def _record_network_failure(result: NegotiationResult, session,
         session.log("abort", result.requester, result.provider, str(error))
 
 
-def _finish_session(transport, session) -> None:
+def _finish_session(transport, session, result=None) -> None:
     """End-of-negotiation audit + eviction (both strategies, every path):
     no in-flight entries may survive, and the transport's session table must
-    not grow without bound under heavy traffic."""
+    not grow without bound under heavy traffic.  When the negotiation
+    failed (``result.failure_kind``), the flight recorder dumps its
+    post-mortem *before* eviction forgets the session's ring."""
     session.audit_in_flight()
+    if result is not None and result.failure_kind:
+        flightrec.dump_failure(result, session, transport)
     transport.release_session(session.id)
 
 
@@ -304,7 +309,7 @@ def eager_negotiate(
             result.failure_reason = "no further safe disclosures and goal underivable"
         return result
     finally:
-        _finish_session(transport, session)
+        _finish_session(transport, session, result)
 
 
 # ---------------------------------------------------------------------------
@@ -425,4 +430,4 @@ def eager_multiparty_negotiate(
                 "remained underivable")
         return result
     finally:
-        _finish_session(transport, session)
+        _finish_session(transport, session, result)

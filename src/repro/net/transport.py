@@ -46,6 +46,7 @@ from repro.net.message import Message
 from repro.net.registry import PeerRegistry
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.obs.flightrec import RECORDER as _FLIGHTREC
 
 # Wire-size histogram; observed only when push metrics are enabled (the
 # PUSH_ENABLED check keeps the default per-message cost at one bool test).
@@ -291,6 +292,9 @@ class Transport:
         unless tracing or push metrics are switched on."""
         if _metrics.PUSH_ENABLED:
             _MESSAGE_BYTES.labels(message.kind).observe(size)
+        _FLIGHTREC.note(self.now_ms, message.session_id, "send",
+                        message.sender, message.receiver,
+                        f"{message.kind} {size}B")
         tracer = _trace.ACTIVE
         if tracer is not None:
             tracer.event("transport.send", kind=message.kind,
@@ -299,6 +303,9 @@ class Transport:
                          msg=tracer.alias("msg", message.message_id))
 
     def _note_fault(self, name: str, message: Message) -> None:
+        _FLIGHTREC.note(self.now_ms, message.session_id,
+                        name.rpartition(".")[2], message.sender,
+                        message.receiver, message.kind)
         tracer = _trace.ACTIVE
         if tracer is not None:
             tracer.event(name, kind=message.kind, sender=message.sender,
@@ -454,6 +461,9 @@ class Transport:
                     self.retry.backoff_ms(attempt - 1, self._backoff_rng))
                 self.stats.retries += 1
                 self._count_for_session(message, "retries")
+                _FLIGHTREC.note(self.now_ms, message.session_id, "retry",
+                                message.sender, message.receiver,
+                                f"{message.kind} attempt {attempt}")
                 tracer = _trace.ACTIVE
                 if tracer is not None:
                     tracer.event("transport.retry", kind=message.kind,
@@ -533,6 +543,7 @@ class Transport:
         # Purge unconditionally (the hook is idempotent): dedup caches exist
         # even for sessions that never entered the table.
         self._on_session_evicted(session_id)
+        _FLIGHTREC.forget(session_id)
         if not self.retain_sessions:
             self.sessions.forget(session_id)
 

@@ -16,17 +16,36 @@ reproduction can import them without cycles:
   attribute access intact.
 - :mod:`repro.obs.timeline` — renders an exported trace as a sim-time
   timeline/flamegraph (``peertrust trace-view``).
+
+The analysis tier sits on top of those three:
+
+- :mod:`repro.obs.slo` — declarative SLO specs (quantiles via
+  ``Histogram.quantile``/``histogram_quantile``, single samples, ratios)
+  evaluated against registry snapshot deltas (``peertrust slo-check``).
+- :mod:`repro.obs.critpath` — critical-path extraction and per-category
+  blame over exported traces (``trace-view --critical-path``).
+- :mod:`repro.obs.flightrec` — an always-on bounded flight recorder that
+  dumps post-mortems on negotiation failures and crash recovery
+  (``--flight-recorder``).
 """
 
+from repro.obs.flightrec import RECORDER, FlightRecorder
 from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.slo import SLOReport, SLOSpec, evaluate, load_spec
 from repro.obs.trace import Span, Tracer, activate, deactivate, tracing
 
 __all__ = [
+    "FlightRecorder",
     "MetricsRegistry",
+    "RECORDER",
+    "SLOReport",
+    "SLOSpec",
     "Span",
     "Tracer",
     "activate",
     "deactivate",
+    "evaluate",
     "global_registry",
+    "load_spec",
     "tracing",
 ]

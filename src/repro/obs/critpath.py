@@ -1,0 +1,196 @@
+"""Critical-path analysis over exported span traces.
+
+Reconstructs the happens-before graph from the parent/child links of an
+exported JSONL trace (the same records ``timeline`` renders) and answers
+the two questions a slow distributed negotiation raises:
+
+1. **Which chain of spans determined the makespan?**  Starting from the
+   root span that ends last, repeatedly descend into the child span with
+   the latest end — that chain is the longest sim-time path (RPC hops,
+   gather windows, tabling fixpoint passes).
+2. **Where did the time go?**  Every span in the root's subtree is
+   charged its *self time* — its duration minus the union of its child
+   spans' intervals — and self times are attributed to categories by
+   span name (network wait, SLD evaluation, tabling, gather windows,
+   recovery).  Backoff recorded by ``transport.retry`` events is carved
+   out of the enclosing span's category into ``retry-backoff``.  Crypto
+   verification is free on the simulated clock (it costs wall time, not
+   sim latency), so it is reported as an event count rather than
+   milliseconds.
+
+Everything is ordered by explicit sort keys (sim time, then record id),
+so for a fixed scenario seed the rendering is byte-identical across
+processes and ``PYTHONHASHSEED`` values, like the traces themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.timeline import _attr_text
+
+# Span-name -> blame category.  Unknown names fall into "other".
+CATEGORY_BY_SPAN = {
+    "rpc": "network-wait",
+    "table-notify": "network-wait",
+    "negotiation.remote": "network-wait",
+    "negotiation.gather": "gather-window",
+    "engine.query": "sld-eval",
+    "peer.answer": "sld-eval",
+    "negotiation.table.pass": "tabling",
+    "negotiation.table.fixpoint": "tabling",
+    "peer.recover": "recovery",
+    "negotiation": "orchestration",
+}
+
+# Fixed display order for categories with no time: keeps the report shape
+# stable so the zero rows still document what was measured.
+CATEGORIES = ("network-wait", "retry-backoff", "sld-eval", "tabling",
+              "gather-window", "recovery", "orchestration", "other")
+
+_COUNTED_EVENTS = {
+    "negotiation.verify": "crypto verify events",
+    "transport.retry": "transport retries",
+    "engine.table": "tabling activations",
+    "engine.suspend": "engine suspensions",
+    "negotiation.branch_failed": "failed branches",
+}
+
+
+def category_for(span_name: str) -> str:
+    return CATEGORY_BY_SPAN.get(span_name, "other")
+
+
+def _duration(span: dict) -> float:
+    return span["end"] - span["start"]
+
+
+def _interval_union(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by a set of (possibly overlapping) intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    covered = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            covered += current_end - current_start
+            current_start, current_end = start, end
+        elif end > current_end:
+            current_end = end
+    return covered + (current_end - current_start)
+
+
+class CriticalPathAnalysis:
+    """The computed analysis for one root span's subtree."""
+
+    def __init__(self, records: list[dict]) -> None:
+        self.spans = {r["id"]: r for r in records if r["t"] == "span"}
+        self.finished = {span_id: span
+                         for span_id, span in self.spans.items()
+                         if span.get("end") is not None}
+        self.open_count = len(self.spans) - len(self.finished)
+        self.events = [r for r in records if r["t"] == "event"]
+        self.children: dict[Optional[int], list[dict]] = {}
+        for span in self.finished.values():
+            parent = span["parent"]
+            if parent is not None and parent not in self.spans:
+                parent = None  # orphan (truncated trace): promote to root
+            self.children.setdefault(parent, []).append(span)
+        for bucket in self.children.values():
+            bucket.sort(key=lambda s: (s["start"], s["id"]))
+        self.events_by_parent: dict[Optional[int], list[dict]] = {}
+        for event in self.events:
+            self.events_by_parent.setdefault(event["parent"], []).append(event)
+        self.roots = sorted(self.children.get(None, []),
+                            key=lambda s: (s["end"], s["id"]))
+        self.root = self.roots[-1] if self.roots else None
+        self.path: list[dict] = []
+        self.blame: dict[str, float] = {name: 0.0 for name in CATEGORIES}
+        self.event_counts: dict[str, int] = {}
+        if self.root is not None:
+            self._extract_path()
+            self._attribute_blame()
+
+    def _extract_path(self) -> None:
+        span = self.root
+        while span is not None:
+            self.path.append(span)
+            kids = self.children.get(span["id"], ())
+            span = max(kids, key=lambda s: (s["end"], s["id"])) if kids \
+                else None
+
+    def _attribute_blame(self) -> None:
+        stack = [self.root]
+        while stack:
+            span = stack.pop()
+            kids = self.children.get(span["id"], [])
+            stack.extend(kids)
+            child_time = _interval_union(
+                [(max(kid["start"], span["start"]),
+                  min(kid["end"], span["end"]))
+                 for kid in kids if kid["end"] > span["start"]
+                 and kid["start"] < span["end"]])
+            self_time = max(0.0, _duration(span) - child_time)
+            category = category_for(span["name"])
+            backoff = 0.0
+            for event in self.events_by_parent.get(span["id"], ()):
+                name = event["name"]
+                if name in _COUNTED_EVENTS:
+                    self.event_counts[name] = \
+                        self.event_counts.get(name, 0) + 1
+                if name == "transport.retry":
+                    backoff += float(event["attrs"].get("backoff_ms", 0.0))
+            backoff = min(backoff, self_time)
+            self.blame[category] = self.blame.get(category, 0.0) \
+                + (self_time - backoff)
+            self.blame["retry-backoff"] += backoff
+
+    @property
+    def makespan_ms(self) -> float:
+        return _duration(self.root) if self.root is not None else 0.0
+
+
+def analyze(records: list[dict]) -> CriticalPathAnalysis:
+    return CriticalPathAnalysis(records)
+
+
+def render_critical_path(records: list[dict]) -> str:
+    """The ``trace-view --critical-path`` report."""
+    analysis = analyze(records)
+    if analysis.root is None:
+        return "(no finished spans -- nothing to analyze)\n"
+    root = analysis.root
+    lines = [f"critical root: {root['name']} "
+             f"#{root['id']} {root['start']:g}..{root['end']:g}ms "
+             f"(makespan {analysis.makespan_ms:.3f}ms, "
+             f"{len(analysis.roots)} root spans, "
+             f"{len(analysis.finished)} finished spans, "
+             f"{analysis.open_count} open)"]
+    lines.append("")
+    lines.append("critical path (longest sim-time chain):")
+    for hop, span in enumerate(analysis.path):
+        kids = analysis.children.get(span["id"], ())
+        chosen = max(kids, key=lambda s: (s["end"], s["id"])) if kids else None
+        self_ms = _duration(span) - (_duration(chosen) if chosen else 0.0)
+        attrs = _attr_text(span.get("attrs", {}))
+        lines.append(
+            f"  [{hop}] {span['name']} #{span['id']} "
+            f"{span['start']:g}..{span['end']:g} "
+            f"({_duration(span):.3f}ms, self {self_ms:.3f}ms){attrs}")
+    lines.append("")
+    lines.append("blame by category (self time over the critical "
+                 "root's subtree):")
+    total = sum(analysis.blame.values()) or 1.0
+    ranked = sorted(analysis.blame.items(), key=lambda kv: (-kv[1], kv[0]))
+    width = max(len(name) for name, _ in ranked)
+    for name, ms in ranked:
+        lines.append(f"  {name:<{width}}  {ms:>10.3f}ms  "
+                     f"{100.0 * ms / total:>5.1f}%")
+    if analysis.event_counts:
+        lines.append("")
+        lines.append("events in subtree (zero sim-time cost):")
+        for name in sorted(analysis.event_counts):
+            label = _COUNTED_EVENTS.get(name, name)
+            lines.append(f"  {label:<24} {analysis.event_counts[name]:>6}")
+    return "\n".join(lines) + "\n"

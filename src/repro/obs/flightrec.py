@@ -1,0 +1,150 @@
+"""Always-on negotiation flight recorder: bounded rings + post-mortems.
+
+Black-box style recorder for the negotiation stack.  Every instrumented
+layer (transport sends and faults, scheduler retries, engine branch
+failures, peer denials, crash recovery) drops a cheap tuple into a small
+per-session ring buffer — a ``deque(maxlen=...)`` append, no formatting,
+no I/O — so it is safe to leave enabled in every run.  When something
+actually goes wrong (a negotiation finishes with a ``failure_kind``, or
+a peer goes through crash recovery) the recorder snapshots a post-mortem
+report: the last-N ring events, any spans still open on the active
+tracer, a session-state fingerprint, and layer-specific context.
+
+Reports accumulate in :attr:`FlightRecorder.dumps` (bounded) and are
+written to disk by the CLI ``--flight-recorder PATH`` option as JSONL.
+
+Ring entries are plain tuples ``(t_ms, kind, src, dst, detail)``; the
+``kind`` vocabulary is the short verb of whatever layer noted it:
+``send``, ``drop``, ``corrupt``, ``crash`` (transport faults), ``retry``
+and ``rpc-failed`` (scheduler), ``branch-failed`` (engine), ``deny``
+(peer).  Sessions are forgotten when the transport evicts them so rings
+never outlive their session.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.obs import trace as _trace
+
+# Events retained per session ring / post-mortem reports retained per
+# process.  Both are bounded so "always on" cannot become "always growing".
+DEFAULT_RING = 64
+DEFAULT_DUMPS = 64
+
+
+class FlightRecorder:
+    """Per-session bounded rings of recent events plus collected dumps."""
+
+    __slots__ = ("capacity", "enabled", "_rings", "dumps")
+
+    def __init__(self, capacity: int = DEFAULT_RING,
+                 dump_limit: int = DEFAULT_DUMPS) -> None:
+        self.capacity = capacity
+        self.enabled = True
+        self._rings: dict[str, deque] = {}
+        self.dumps: deque = deque(maxlen=dump_limit)
+
+    def note(self, t_ms, session_id, kind, src="", dst="", detail="") -> None:
+        """Record one event; the hot path, kept to a dict get + append."""
+        if not self.enabled:
+            return
+        ring = self._rings.get(session_id)
+        if ring is None:
+            ring = self._rings[session_id] = deque(maxlen=self.capacity)
+        ring.append((t_ms, kind, src, dst, detail))
+
+    def forget(self, session_id) -> None:
+        self._rings.pop(session_id, None)
+
+    def events_for(self, session_id) -> list[tuple]:
+        return list(self._rings.get(session_id, ()))
+
+    def events_mentioning(self, peer_name: str) -> list[tuple]:
+        """Recent ``(session_id, entry)`` pairs naming ``peer_name`` as
+        source or destination, across every live ring, oldest first."""
+        hits = []
+        for session_id in sorted(self._rings):
+            for entry in self._rings[session_id]:
+                if peer_name in (entry[2], entry[3]):
+                    hits.append((session_id, entry))
+        hits.sort(key=lambda item: (item[1][0], item[0]))
+        return hits[-self.capacity:]
+
+    def live_sessions(self) -> list[str]:
+        return sorted(self._rings)
+
+    def reset(self) -> None:
+        self._rings.clear()
+        self.dumps.clear()
+
+
+RECORDER = FlightRecorder()
+
+
+def _entry_dict(entry: tuple) -> dict:
+    return {"t_ms": round(entry[0], 3), "kind": entry[1], "src": entry[2],
+            "dst": entry[3], "detail": entry[4]}
+
+
+def _open_spans() -> list[dict]:
+    tracer = _trace.ACTIVE
+    if tracer is None:
+        return []
+    return [{"id": record["id"], "name": record["name"],
+             "start": record["start"], "attrs": record["attrs"]}
+            for record in tracer.all_records()
+            if record["t"] == "span" and record["end"] is None]
+
+
+def session_fingerprint(session) -> dict:
+    """A compact, deterministic summary of one session's live state."""
+    return {
+        "id": session.id,
+        "initiator": session.initiator,
+        "deadline_at_ms": session.deadline_at_ms,
+        "transcript_events": len(session.transcript),
+        "in_flight": len(session.in_flight),
+        "tables": len(session.tables),
+        "counters": {key: session.counters[key]
+                     for key in sorted(session.counters)},
+    }
+
+
+def dump_failure(result, session, transport) -> Optional[dict]:
+    """Post-mortem for a negotiation that finished with a failure_kind."""
+    if not RECORDER.enabled:
+        return None
+    report = {
+        "reason": f"failure:{result.failure_kind}",
+        "failure_reason": result.failure_reason,
+        "requester": result.requester,
+        "provider": result.provider,
+        "goal": str(result.goal),
+        "sim_now_ms": round(transport.now_ms, 3),
+        "session": session_fingerprint(session),
+        "events": [_entry_dict(entry)
+                   for entry in RECORDER.events_for(session.id)],
+        "open_spans": _open_spans(),
+    }
+    RECORDER.dumps.append(report)
+    return report
+
+
+def dump_recovery(transport, peer_name: str, recovery: dict) -> Optional[dict]:
+    """Post-mortem for a peer that went through crash recovery."""
+    if not RECORDER.enabled:
+        return None
+    report = {
+        "reason": "crash-recovery",
+        "peer": peer_name,
+        "sim_now_ms": round(transport.now_ms, 3),
+        "recovery": dict(recovery),
+        "events": [{"session": session_id, **_entry_dict(entry)}
+                   for session_id, entry
+                   in RECORDER.events_mentioning(peer_name)],
+        "open_spans": _open_spans(),
+    }
+    RECORDER.dumps.append(report)
+    return report

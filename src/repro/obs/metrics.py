@@ -55,6 +55,12 @@ DEFAULT_BYTE_BUCKETS = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
                         65536)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 class Counter:
     """A monotonically increasing value."""
 
@@ -126,6 +132,31 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile with ``histogram_quantile`` semantics.
+
+        Linear interpolation inside the bucket containing the rank, with
+        the Prometheus conventions: the first bucket interpolates from 0
+        (or from its own bound when that bound is <= 0), and a rank that
+        lands in the ``+Inf`` bucket clamps to the highest finite bound.
+        Returns ``None`` for an empty histogram; ``q`` outside [0, 1] is
+        clamped.
+        """
+        if self.count == 0:
+            return None
+        q = min(1.0, max(0.0, float(q)))
+        rank = q * self.count
+        running = 0
+        for index, bound in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[index]
+            if in_bucket and running + in_bucket >= rank:
+                start = 0.0 if index == 0 else self.bounds[index - 1]
+                if index == 0 and bound <= 0:
+                    start = bound
+                return start + (bound - start) * ((rank - running) / in_bucket)
+            running += in_bucket
+        return self.bounds[-1]
+
     def cumulative(self) -> list[tuple[str, int]]:
         """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
         out, running = [], 0
@@ -196,6 +227,9 @@ class Family:
     def observe(self, value):
         self._solo().observe(value)
 
+    def quantile(self, q):
+        return self._solo().quantile(q)
+
     @property
     def value(self):
         return self._solo().value
@@ -203,7 +237,8 @@ class Family:
     def _label_string(self, key: tuple) -> str:
         if not key:
             return ""
-        parts = ",".join(f'{n}="{v}"' for n, v in zip(self.labelnames, key))
+        parts = ",".join(f'{n}="{escape_label_value(v)}"'
+                         for n, v in zip(self.labelnames, key))
         return "{" + parts + "}"
 
     def samples(self):
@@ -232,7 +267,8 @@ class _SourcedMetric:
         value = self.fn()
         if isinstance(value, dict):
             for label_value in sorted(value):
-                yield (f'{self.name}{{{self.labelname}="{label_value}"}}',
+                escaped = escape_label_value(label_value)
+                yield (f'{self.name}{{{self.labelname}="{escaped}"}}',
                        value[label_value])
         else:
             yield self.name, value
@@ -316,6 +352,8 @@ class MetricsRegistry:
                 if isinstance(value, float):
                     value = round(value, 6)
                 lines.append(f"{sample_name} {value}")
+        if not lines:
+            return ""
         return "\n".join(lines) + "\n"
 
 

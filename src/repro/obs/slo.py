@@ -1,0 +1,260 @@
+"""Declarative SLOs evaluated against metrics-registry snapshots.
+
+A spec is a JSON document::
+
+    {"name": "bilateral-fleet",
+     "objectives": [
+       {"name": "p99_negotiation_sim_ms", "kind": "quantile",
+        "metric": "peertrust_negotiation_sim_ms", "q": 0.99, "max": 200},
+       {"name": "bytes_per_negotiation", "kind": "ratio",
+        "numerator": "peertrust_transport_bytes_total",
+        "denominator": "peertrust_negotiation_sim_ms_count", "max": 20000},
+       {"name": "max_queue_depth", "kind": "value",
+        "sample": "peertrust_transport_max_queue_depth",
+        "window": "absolute", "max": 64}]}
+
+Three objective kinds:
+
+- ``quantile`` — Prometheus ``histogram_quantile`` over the
+  ``<metric>_bucket{...}`` samples of a snapshot (or snapshot delta, so a
+  quantile can be scoped to one workload window).
+- ``value`` — a single sample looked up by exact name.
+- ``ratio`` — ``numerator / denominator`` of two samples (0 when both
+  are 0; no-data when only the denominator is 0).
+
+Each objective checks ``min``/``max`` bounds and defaults to the
+``delta`` window (counter movement during the measured run); gauges that
+only make sense point-in-time opt into ``"window": "absolute"``.  An
+objective that cannot be computed (missing samples) is a violation — a
+watchdog that silently passes on absent data is worse than none.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PeerTrustError
+
+_KINDS = ("quantile", "value", "ratio")
+_WINDOWS = ("delta", "absolute")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One named check inside a spec."""
+
+    name: str
+    kind: str
+    max_value: Optional[float] = None
+    min_value: Optional[float] = None
+    metric: str = ""
+    q: float = 0.5
+    sample: str = ""
+    numerator: str = ""
+    denominator: str = ""
+    window: str = "delta"
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    name: str
+    objectives: tuple = ()
+
+
+@dataclass
+class ObjectiveResult:
+    name: str
+    kind: str
+    value: Optional[float]
+    ok: bool
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind,
+                "value": None if self.value is None else round(self.value, 6),
+                "ok": self.ok, "detail": self.detail}
+
+
+@dataclass
+class SLOReport:
+    spec: str
+    results: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def as_dict(self) -> dict:
+        return {"spec": self.spec, "ok": self.ok,
+                "objectives": [result.as_dict() for result in self.results]}
+
+    def render(self) -> str:
+        passed = sum(1 for result in self.results if result.ok)
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [f"SLO check: {self.spec} -- {verdict} "
+                 f"({passed}/{len(self.results)} objectives)"]
+        width = max((len(result.name) for result in self.results), default=0)
+        for result in self.results:
+            mark = "ok  " if result.ok else "FAIL"
+            value = ("(no data)" if result.value is None
+                     else f"{result.value:.6g}")
+            line = f"  {mark}  {result.name:<{width}}  {value}"
+            if result.detail:
+                line += f"  [{result.detail}]"
+            lines.append(line)
+        return "\n".join(lines) + "\n"
+
+
+def parse_spec(data) -> SLOSpec:
+    """Validate a decoded JSON document into an :class:`SLOSpec`."""
+    if not isinstance(data, dict):
+        raise PeerTrustError("SLO spec must be a JSON object")
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise PeerTrustError("SLO spec needs a non-empty 'name'")
+    raw_objectives = data.get("objectives")
+    if not isinstance(raw_objectives, list) or not raw_objectives:
+        raise PeerTrustError("SLO spec needs a non-empty 'objectives' list")
+    objectives = []
+    for position, raw in enumerate(raw_objectives):
+        if not isinstance(raw, dict):
+            raise PeerTrustError(f"objective #{position} must be an object")
+        obj_name = raw.get("name")
+        if not isinstance(obj_name, str) or not obj_name:
+            raise PeerTrustError(f"objective #{position} needs a 'name'")
+        kind = raw.get("kind")
+        if kind not in _KINDS:
+            raise PeerTrustError(
+                f"objective {obj_name!r}: kind must be one of {_KINDS}")
+        window = raw.get("window", "delta")
+        if window not in _WINDOWS:
+            raise PeerTrustError(
+                f"objective {obj_name!r}: window must be one of {_WINDOWS}")
+        if raw.get("max") is None and raw.get("min") is None:
+            raise PeerTrustError(
+                f"objective {obj_name!r}: needs a 'max' and/or 'min' bound")
+        if kind == "quantile" and not raw.get("metric"):
+            raise PeerTrustError(
+                f"objective {obj_name!r}: quantile needs a 'metric'")
+        if kind == "value" and not raw.get("sample"):
+            raise PeerTrustError(
+                f"objective {obj_name!r}: value needs a 'sample'")
+        if kind == "ratio" and not (raw.get("numerator")
+                                    and raw.get("denominator")):
+            raise PeerTrustError(
+                f"objective {obj_name!r}: ratio needs 'numerator' "
+                f"and 'denominator'")
+        objectives.append(Objective(
+            name=obj_name, kind=kind,
+            max_value=None if raw.get("max") is None else float(raw["max"]),
+            min_value=None if raw.get("min") is None else float(raw["min"]),
+            metric=raw.get("metric", ""), q=float(raw.get("q", 0.5)),
+            sample=raw.get("sample", ""),
+            numerator=raw.get("numerator", ""),
+            denominator=raw.get("denominator", ""), window=window))
+    return SLOSpec(name=name, objectives=tuple(objectives))
+
+
+def load_spec(path) -> SLOSpec:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise PeerTrustError(f"cannot read SLO spec {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise PeerTrustError(f"SLO spec {path} is not valid JSON: {error}")
+    return parse_spec(data)
+
+
+def histogram_quantile(samples: dict, metric: str, q: float) -> Optional[float]:
+    """``histogram_quantile`` over one snapshot's ``<metric>_bucket``
+    samples.  Works on snapshot *deltas* too, since cumulative bucket
+    counters only grow.  Returns ``None`` when the histogram is absent or
+    empty in this window."""
+    prefix = f"{metric}_bucket{{"
+    points = []
+    for sample_name, value in samples.items():
+        if sample_name.startswith(prefix):
+            marker = sample_name.rindex('le="') + 4
+            le = sample_name[marker:sample_name.index('"', marker)]
+            bound = math.inf if le == "+Inf" else float(le)
+            points.append((bound, value))
+    if not points:
+        return None
+    points.sort()
+    total = points[-1][1]
+    if total <= 0:
+        return None
+    q = min(1.0, max(0.0, float(q)))
+    rank = q * total
+    lower, running = 0.0, 0
+    finite_max = max((bound for bound, _ in points
+                      if not math.isinf(bound)), default=0.0)
+    for bound, cumulative in points:
+        in_bucket = cumulative - running
+        if in_bucket and cumulative >= rank:
+            if math.isinf(bound):
+                return finite_max
+            start = lower
+            if bound <= 0 and running == 0 and lower == 0.0:
+                start = bound
+            return start + (bound - start) * ((rank - running) / in_bucket)
+        running = cumulative
+        if not math.isinf(bound):
+            lower = bound
+    return finite_max
+
+
+def _evaluate_objective(objective: Objective, samples: dict) -> ObjectiveResult:
+    value: Optional[float]
+    detail = ""
+    if objective.kind == "quantile":
+        value = histogram_quantile(samples, objective.metric, objective.q)
+        if value is None:
+            detail = f"no observations for {objective.metric}"
+    elif objective.kind == "value":
+        raw = samples.get(objective.sample)
+        value = None if raw is None else float(raw)
+        if value is None:
+            detail = f"sample {objective.sample} not found"
+    else:
+        numerator = samples.get(objective.numerator, 0)
+        denominator = samples.get(objective.denominator, 0)
+        if denominator:
+            value = numerator / denominator
+        elif not numerator:
+            value = 0.0
+        else:
+            value = None
+            detail = f"denominator {objective.denominator} is zero"
+    if value is None:
+        return ObjectiveResult(objective.name, objective.kind, None, False,
+                               detail)
+    ok = True
+    checks = []
+    if objective.max_value is not None:
+        checks.append(f"max={objective.max_value:g}")
+        if value > objective.max_value:
+            ok = False
+    if objective.min_value is not None:
+        checks.append(f"min={objective.min_value:g}")
+        if value < objective.min_value:
+            ok = False
+    return ObjectiveResult(objective.name, objective.kind, value, ok,
+                           " ".join(checks))
+
+
+def evaluate(spec: SLOSpec, window: dict,
+             absolute: Optional[dict] = None) -> SLOReport:
+    """Score every objective: ``window`` is the snapshot delta covering
+    the measured run, ``absolute`` the closing snapshot (defaults to
+    ``window`` when the caller has no delta)."""
+    absolute = absolute if absolute is not None else window
+    report = SLOReport(spec=spec.name)
+    for objective in spec.objectives:
+        samples = window if objective.window == "delta" else absolute
+        report.results.append(_evaluate_objective(objective, samples))
+    return report

@@ -17,18 +17,39 @@ from __future__ import annotations
 import json
 from typing import Iterable, Optional
 
+from repro.errors import PeerTrustError
+
 _BAR = "━"        # ━  span extent
 _MARK = "·"       # ·  event instant
 _OPEN_END = "╴"   # ╴  span never finished (end = null)
 
 
 def load_records(path) -> list[dict]:
+    """Parse a JSONL trace, tolerating nothing silently: a truncated or
+    mid-write line raises :class:`PeerTrustError` naming the exact line
+    (an empty file is fine — it renders as an empty trace)."""
     records = []
-    with open(path) as handle:
-        for line in handle:
+    try:
+        handle = open(path)
+    except OSError as error:
+        raise PeerTrustError(f"cannot read trace {path}: {error}")
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise PeerTrustError(
+                    f"{path}:{line_number}: truncated or corrupt trace "
+                    f"record ({error.msg}) -- was the trace still being "
+                    f"written?")
+            if not isinstance(record, dict) or "t" not in record:
+                raise PeerTrustError(
+                    f"{path}:{line_number}: not a trace record "
+                    f"(missing 't' field)")
+            records.append(record)
     return records
 
 

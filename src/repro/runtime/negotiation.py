@@ -182,7 +182,7 @@ class _NegotiationDriver:
             if tracer is not None and self.span is not None:
                 tracer.end(self.span, granted=result.granted,
                            failure_kind=result.failure_kind)
-            _finish_session(self.transport, self.session)
+            _finish_session(self.transport, self.session, result)
 
 
 def run_negotiation(

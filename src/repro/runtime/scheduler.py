@@ -50,6 +50,7 @@ from repro.errors import (
 )
 from repro.net.message import AnswerMessage, Message, QueryMessage
 from repro.obs import trace as _trace
+from repro.obs.flightrec import RECORDER as _FLIGHTREC
 
 
 class EventScheduler:
@@ -261,6 +262,11 @@ class RequestExchange:
             transport.stats.retries += 1
             transport._count_for_session(self.message, "retries")
             transport.stats.simulated_ms += backoff
+            _FLIGHTREC.note(transport.now_ms, self.message.session_id,
+                            "retry", self.message.sender,
+                            self.message.receiver,
+                            f"{self.message.kind} attempt {self.attempt + 1} "
+                            f"backoff {backoff:.3f}ms")
             tracer = _trace.ACTIVE
             if tracer is not None:
                 tracer.event("transport.retry", parent=self.span,
@@ -273,6 +279,9 @@ class RequestExchange:
                 self._attempt_action)
             return
         transport._count_for_session(self.message, "gave_up")
+        _FLIGHTREC.note(transport.now_ms, self.message.session_id,
+                        "gave-up", self.message.sender, self.message.receiver,
+                        f"{self.message.kind} after {self.attempt} attempts")
         self._finish_after(delay_ms, error)
 
     def _finish_after(self, delay_ms: float, outcome: object) -> None:
@@ -411,6 +420,12 @@ class RequestExchange:
             return
         self.completed = True
         self.scheduler.unregister(self)
+        if not isinstance(outcome, Message):
+            _FLIGHTREC.note(self.transport.now_ms, self.message.session_id,
+                            "rpc-failed", self.message.sender,
+                            self.message.receiver,
+                            f"{self.message.kind} "
+                            f"{type(outcome).__name__}")
         tracer = _trace.ACTIVE
         if tracer is not None and self.span is not None:
             tracer.end(self.span, attempts=self.attempt,
@@ -494,6 +509,11 @@ class TableExchange:
             transport.stats.retries += 1
             transport._count_for_session(self.message, "retries")
             transport.stats.simulated_ms += backoff
+            _FLIGHTREC.note(transport.now_ms, self.message.session_id,
+                            "retry", self.message.sender,
+                            self.message.receiver,
+                            f"{self.message.kind} attempt {self.attempt + 1} "
+                            f"backoff {backoff:.3f}ms")
             tracer = _trace.ACTIVE
             if tracer is not None:
                 tracer.event("transport.retry", parent=self.span,
@@ -506,6 +526,9 @@ class TableExchange:
                 self._attempt_action)
             return
         transport._count_for_session(self.message, "gave_up")
+        _FLIGHTREC.note(transport.now_ms, self.message.session_id,
+                        "gave-up", self.message.sender, self.message.receiver,
+                        f"{self.message.kind} after {self.attempt} attempts")
         self._finish_after(delay_ms, error)
 
     def _finish_after(self, delay_ms: float, outcome: object) -> None:

@@ -43,6 +43,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs import flightrec as _flightrec
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.storage.store import StateStore, iter_namespace
@@ -63,6 +64,9 @@ RECOVERY_ITEMS = _metrics.global_registry().histogram(
     "peertrust_recovery_items",
     buckets=(0, 1, 2, 5, 10, 20, 50, 100, 250, 1000),
     help="total items restored per recovery")
+RECOVERY_MS = _metrics.global_registry().histogram(
+    "peertrust_recovery_ms", buckets=_metrics.DEFAULT_MS_BUCKETS,
+    help="simulated outage duration per scheduled crash/restart cycle")
 
 
 def _ledger_key(sender: str, receiver: str, serial: str) -> str:
@@ -212,6 +216,8 @@ def crash_peer(transport, peer_name: str) -> None:
     as a dead process's heap would.  The attached store (the "disk") is
     untouched; unbinding the sinks first keeps it that way."""
     peer = transport.registry.get(peer_name)
+    _flightrec.RECORDER.note(transport.now_ms, "", "crash", peer_name, "",
+                             "in-memory state torn down")
     tracer = _trace.ACTIVE
     if tracer is not None:
         tracer.event("peer.crash", peer=peer_name)
@@ -255,6 +261,8 @@ def recover_peer(transport, peer_name: str) -> RecoveryReport:
     report = RecoveryReport(peer=peer_name, warm=store is not None)
     if store is None:
         RECOVERIES.labels("cold").inc()
+        _flightrec.dump_recovery(transport, peer_name,
+                                 {"warm": False, "restored_items": 0})
         return report
     from repro.storage.codec import credential_from_dict, message_from_dict
 
@@ -330,6 +338,17 @@ def recover_peer(transport, peer_name: str) -> RecoveryReport:
                        replies=report.replies,
                        reattached=report.sessions_reattached,
                        aborted=report.sessions_aborted)
+        _flightrec.dump_recovery(transport, peer_name, {
+            "warm": True,
+            "restored_items": report.restored_items,
+            "credentials": report.credentials,
+            "overlays": report.overlays,
+            "ledger_entries": report.ledger_entries,
+            "replies": report.replies,
+            "sessions_reattached": report.sessions_reattached,
+            "sessions_aborted": report.sessions_aborted,
+            "torn_journal_lines": report.torn_journal_lines,
+        })
     return report
 
 
@@ -354,9 +373,14 @@ def schedule_crash_restart(transport, peer_name: str, at_ms: float,
         transport.faults = FaultPlan()
     transport.faults.crash(peer_name, at_ms, until_ms)
     scheduler = scheduler_for(transport)
+
+    def _restart() -> None:
+        restart_peer(transport, peer_name)
+        # The outage the fleet actually saw: crash-window open to restart.
+        RECOVERY_MS.observe(max(0.0, until_ms - at_ms))
+
     scheduler.schedule(max(0.0, until_ms - transport.now_ms),
-                       f"restart {peer_name}",
-                       lambda: restart_peer(transport, peer_name))
+                       f"restart {peer_name}", _restart)
 
 
 def save_answer_tables(engine, store: StateStore,

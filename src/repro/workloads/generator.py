@@ -463,6 +463,30 @@ class FleetWorkload:
 
         return run_many(self.specs, stagger_ms=stagger_ms)
 
+    def run_against_slo(self, spec, stagger_ms: float = 0.0):
+        """Run interleaved and score the run against an SLO spec.
+
+        Installs the default registry collectors, snapshots the registry
+        around the run, feeds each negotiation's span into the
+        per-negotiation sim-latency histogram, and evaluates ``spec`` over
+        the snapshot delta (absolute samples serve the point-in-time
+        gauges).  Returns ``(ConcurrencyReport, SLOReport)`` — the second
+        is the machine-readable pass/fail verdict."""
+        from repro.obs.metrics import global_registry, install_default_collectors
+        from repro.obs.slo import evaluate
+        from repro.workloads.metrics import observe_negotiation_span
+
+        install_default_collectors()
+        registry = global_registry()
+        self.world.transport.reset_stats()
+        before = registry.snapshot()
+        report = self.run_interleaved(stagger_ms=stagger_ms)
+        for start_ms, end_ms in report.spans:
+            observe_negotiation_span(end_ms - start_ms)
+        after = registry.snapshot()
+        window = registry.delta(before, after)
+        return report, evaluate(spec, window, absolute=after)
+
 
 def build_bilateral_fleet(pair_count: int, key_bits: int = 512) -> FleetWorkload:
     """``pair_count`` disjoint client/server pairs, each negotiating the

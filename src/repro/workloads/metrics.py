@@ -27,6 +27,30 @@ _NEGOTIATION_MESSAGES = global_registry().histogram(
     buckets=(2, 4, 8, 16, 32, 64, 128))
 
 
+def record_negotiation(stats) -> None:
+    """Feed one negotiation's transport stats into the per-negotiation
+    distributions (shared by :func:`measure_negotiation` and the CLI)."""
+    _NEGOTIATION_MS.observe(stats.simulated_ms)
+    _NEGOTIATION_MESSAGES.observe(stats.messages)
+
+
+def observe_negotiation_span(sim_ms: float) -> None:
+    """Feed one negotiation's simulated duration only — used by fleet runs
+    where per-negotiation message counts are not separable from the
+    batch-wide transport stats."""
+    _NEGOTIATION_MS.observe(sim_ms)
+
+
+def negotiation_quantiles(qs=(0.5, 0.99)) -> dict:
+    """``{"sim_ms": {q: value}, "messages": {q: value}}`` of the
+    per-negotiation distributions observed so far (values ``None`` until
+    something was recorded)."""
+    return {
+        "sim_ms": {q: _NEGOTIATION_MS.quantile(q) for q in qs},
+        "messages": {q: _NEGOTIATION_MESSAGES.quantile(q) for q in qs},
+    }
+
+
 @dataclass
 class MetricsReport:
     """Flat metrics for one negotiation run."""
@@ -85,8 +109,7 @@ def measure_negotiation(
     result = runner() if runner is not None else workload.run(strategy)
     wall = time.perf_counter() - started
     stats = transport.stats
-    _NEGOTIATION_MS.observe(stats.simulated_ms)
-    _NEGOTIATION_MESSAGES.observe(stats.messages)
+    record_negotiation(stats)
     counters = result.session.counters if result.session else {}
     report = MetricsReport(
         granted=result.granted,

@@ -11,6 +11,8 @@ import io
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cli import main
 from repro.obs import trace
@@ -74,6 +76,81 @@ class TestHistogram:
         assert snapshot['h_ms_bucket{le="+Inf"}'] == 1
         assert snapshot["h_ms_sum"] == pytest.approx(1.5)
         assert snapshot["h_ms_count"] == 1
+
+
+class TestHistogramQuantile:
+    """``Histogram.quantile``: Prometheus ``histogram_quantile`` semantics."""
+
+    def test_empty_histogram_returns_none(self):
+        assert Histogram(buckets=(1, 2)).quantile(0.5) is None
+
+    def test_interpolates_within_bucket(self):
+        histogram = Histogram(buckets=(10,))
+        for _ in range(5):
+            histogram.observe(5)
+        # rank 2.5 of 5 inside the (0, 10] bucket: 10 * (2.5 / 5).
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+        assert histogram.quantile(0.2) == pytest.approx(2.0)
+
+    def test_interpolates_from_previous_bound(self):
+        histogram = Histogram(buckets=(1, 2, 5))
+        for value in (0.5, 1.5, 1.5, 4):
+            histogram.observe(value)
+        # rank 2.0 lands in the (1, 2] bucket (cumulative 1 -> 3).
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+
+    def test_plus_inf_clamps_to_highest_finite_bound(self):
+        histogram = Histogram(buckets=(1, 5))
+        histogram.observe(100)   # only the +Inf bucket
+        assert histogram.quantile(0.99) == pytest.approx(5.0)
+
+    def test_q_outside_unit_interval_is_clamped(self):
+        histogram = Histogram(buckets=(10,))
+        histogram.observe(5)
+        assert histogram.quantile(2.0) == histogram.quantile(1.0)
+        assert histogram.quantile(-1.0) == histogram.quantile(0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                     allow_nan=False, allow_infinity=False),
+                           min_size=1, max_size=40),
+           q=st.floats(min_value=0.0, max_value=1.0))
+    def test_estimate_bounded_by_buckets(self, values, q):
+        histogram = Histogram(buckets=(1, 5, 10, 50))
+        for value in values:
+            histogram.observe(value)
+        estimate = histogram.quantile(q)
+        assert estimate is not None
+        # Never below zero, never above the highest finite bound.
+        assert 0.0 <= estimate <= 50.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                     allow_nan=False, allow_infinity=False),
+                           min_size=1, max_size=40),
+           qs=st.tuples(st.floats(min_value=0.0, max_value=1.0),
+                        st.floats(min_value=0.0, max_value=1.0)))
+    def test_monotone_in_q(self, values, qs):
+        histogram = Histogram(buckets=(1, 5, 10, 50))
+        for value in values:
+            histogram.observe(value)
+        low, high = sorted(qs)
+        assert histogram.quantile(low) <= histogram.quantile(high) + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=20.0,
+                                     allow_nan=False, allow_infinity=False),
+                           min_size=1, max_size=40),
+           q=st.floats(min_value=0.0, max_value=1.0))
+    def test_matches_snapshot_histogram_quantile(self, values, q):
+        from repro.obs.slo import histogram_quantile
+
+        registry = MetricsRegistry()
+        family = registry.histogram("h_ms", buckets=(1, 5, 10))
+        for value in values:
+            family.observe(value)
+        from_snapshot = histogram_quantile(registry.snapshot(), "h_ms", q)
+        assert family.quantile(q) == pytest.approx(from_snapshot)
 
 
 # ---------------------------------------------------------------------------
@@ -151,6 +228,45 @@ class TestRegistry:
         assert "# TYPE c_total counter" in text
         assert "c_total 1" in text
         assert text.endswith("\n")
+
+    def test_render_empty_registry(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops_total", labels=("op",))
+        family.labels('he said "hi"\\once\nmore').inc()
+        text = registry.render_prometheus()
+        assert 'ops_total{op="he said \\"hi\\"\\\\once\\nmore"} 1' in text
+        snapshot = registry.snapshot()
+        assert snapshot['ops_total{op="he said \\"hi\\"\\\\once\\nmore"}'] == 1
+
+    def test_sourced_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.register_callback(
+            "by_kind_total", lambda: {'with "quote"': 3}, label="kind")
+        snapshot = registry.snapshot()
+        assert snapshot['by_kind_total{kind="with \\"quote\\""}'] == 3
+
+    def test_sourced_gauge_vs_counter_kinds(self):
+        registry = MetricsRegistry()
+        registry.register_callback("pulled_total", lambda: 1)
+        registry.register_callback("depth", lambda: 2, kind="gauge")
+        text = registry.render_prometheus()
+        assert "# TYPE pulled_total counter" in text
+        assert "# TYPE depth gauge" in text
+
+    def test_sourced_dict_callback_renders_each_label(self):
+        registry = MetricsRegistry()
+        registry.register_callback(
+            "by_kind_total", lambda: {"b": 2, "a": 1}, label="kind",
+            help="labelled source")
+        text = registry.render_prometheus()
+        # Sorted by label value, one line each, headers once.
+        a_index = text.index('by_kind_total{kind="a"} 1')
+        b_index = text.index('by_kind_total{kind="b"} 2')
+        assert a_index < b_index
+        assert text.count("# TYPE by_kind_total") == 1
 
 
 # ---------------------------------------------------------------------------
@@ -376,6 +492,35 @@ class TestTimeline:
                     "name": "stray", "at": 1.0, "attrs": {}}]
         assert "stray" in render_timeline(records)
 
+    def test_load_records_empty_file(self, tmp_path):
+        from repro.obs.timeline import load_records
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_records(path) == []
+        assert render_timeline([]) == "(empty trace)\n"
+
+    def test_load_records_truncated_line(self, tmp_path):
+        from repro.errors import PeerTrustError
+        from repro.obs.timeline import load_records
+
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"t": "event", "id": 1, "parent": null, '
+                        '"name": "ok", "at": 0.0, "attrs": {}}\n'
+                        '{"t": "span", "id": 2, "par')   # mid-write tear
+        with pytest.raises(PeerTrustError) as excinfo:
+            load_records(path)
+        assert "torn.jsonl:2" in str(excinfo.value)
+
+    def test_load_records_non_record_json(self, tmp_path):
+        from repro.errors import PeerTrustError
+        from repro.obs.timeline import load_records
+
+        path = tmp_path / "odd.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(PeerTrustError):
+            load_records(path)
+
 
 # ---------------------------------------------------------------------------
 # CLI surfaces
@@ -415,3 +560,25 @@ class TestCliObservability:
         assert "cache stats:" in output
         assert "intern_hits:" in output
         assert "table_reuse:" in output
+
+    def test_stats_flag_prints_negotiation_quantiles(self):
+        status, output = run_cli("demo", "quickstart", "--stats")
+        assert status == 0
+        assert "negotiation distributions" in output
+        assert "p50=" in output and "p99=" in output
+
+    def test_trace_view_empty_file_is_not_an_error(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        status, output = run_cli("trace-view", str(path))
+        assert status == 0
+        assert "(empty trace)" in output
+
+    def test_trace_view_truncated_file_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"t": "span", "id": 1, "par')
+        status, output = run_cli("trace-view", str(path))
+        assert status == 1
+        error_text = capsys.readouterr().err
+        assert "torn.jsonl:1" in error_text
+        assert "Traceback" not in error_text
